@@ -1,0 +1,54 @@
+//! Similarity-pipeline benchmarks: embedding and K-Means — the costly
+//! stages behind the SG construction (paper §III-A).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cluster::{kmeans, KMeansConfig};
+use embed::Embedder;
+use minilang::gen::{generate, Behavior};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn code_corpus(n: usize, seed: u64) -> Vec<minilang::Module> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| generate(Behavior::ALL[i % Behavior::ALL.len()], &mut rng))
+        .collect()
+}
+
+fn bench_embedding(c: &mut Criterion) {
+    let corpus = code_corpus(64, 1);
+    let mut group = c.benchmark_group("embed_64_modules");
+    for &dim in &[256usize, 1024, 3072] {
+        let embedder = Embedder::new(dim);
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter(|| {
+                corpus
+                    .iter()
+                    .map(|m| embedder.embed(m))
+                    .collect::<Vec<_>>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let embedder = Embedder::new(256);
+    let corpus = code_corpus(200, 2);
+    let data: Vec<Vec<f32>> = corpus
+        .iter()
+        .map(|m| embedder.embed(m).as_slice().to_vec())
+        .collect();
+    let mut group = c.benchmark_group("kmeans_200x256");
+    group.sample_size(10);
+    for &k in &[4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| kmeans(&data, k, &KMeansConfig::default(), &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_embedding, bench_kmeans);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Detector benchmarks: static-scan vs sandbox-execution throughput —
+//! the cost trade-off behind "today's defense tools work well".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use detector::{DynamicDetector, StaticDetector};
+use minilang::gen::{generate, generate_benign, Behavior};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn corpus(n: usize, seed: u64) -> Vec<minilang::Module> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            if i % 4 == 0 {
+                generate_benign(&mut rng)
+            } else {
+                generate(Behavior::ALL[i % Behavior::ALL.len()], &mut rng)
+            }
+        })
+        .collect()
+}
+
+fn bench_static_scan(c: &mut Criterion) {
+    let detector = StaticDetector::default();
+    let modules = corpus(50, 1);
+    c.bench_function("static_scan_50_modules", |b| {
+        b.iter(|| {
+            modules
+                .iter()
+                .filter(|m| detector.scan(m, None).malicious)
+                .count()
+        })
+    });
+}
+
+fn bench_dynamic_analysis(c: &mut Criterion) {
+    let detector = DynamicDetector::default();
+    let modules = corpus(50, 2);
+    let mut group = c.benchmark_group("sandbox_50_modules");
+    group.sample_size(20);
+    group.bench_function("default_fuel", |b| {
+        b.iter(|| {
+            modules
+                .iter()
+                .filter(|m| detector.analyze(m).malicious())
+                .count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_single_module_pipeline(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let module = generate(Behavior::InfoStealer, &mut rng);
+    let static_d = StaticDetector::default();
+    let dynamic_d = DynamicDetector::default();
+    let mut group = c.benchmark_group("per_module");
+    group.bench_function("static", |b| b.iter(|| static_d.scan(&module, None)));
+    group.bench_function("dynamic", |b| b.iter(|| dynamic_d.analyze(&module)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_static_scan,
+    bench_dynamic_analysis,
+    bench_single_module_pipeline
+);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Graph-store benchmarks: edge insertion, component extraction, degree
+//! statistics — the operations behind Table II and the group censuses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphstore::stats::RelationStats;
+use graphstore::{NodeId, PropertyGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn clique_graph(nodes: usize, clique: usize) -> PropertyGraph<u32, u8> {
+    let mut g = PropertyGraph::new();
+    let ids: Vec<NodeId> = (0..nodes as u32).map(|i| g.add_node(i)).collect();
+    for chunk in ids.chunks(clique) {
+        for i in 0..chunk.len() {
+            for j in (i + 1)..chunk.len() {
+                g.add_undirected_edge(chunk[i], chunk[j], 1);
+            }
+        }
+    }
+    g
+}
+
+fn random_graph(nodes: usize, edges: usize, seed: u64) -> PropertyGraph<u32, u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = PropertyGraph::new();
+    let ids: Vec<NodeId> = (0..nodes as u32).map(|i| g.add_node(i)).collect();
+    for _ in 0..edges {
+        let a = ids[rng.gen_range(0..ids.len())];
+        let b = ids[rng.gen_range(0..ids.len())];
+        if a != b {
+            g.add_undirected_edge(a, b, 1);
+        }
+    }
+    g
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_build_cliques");
+    for &n in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| clique_graph(n, 20));
+        });
+    }
+    group.finish();
+}
+
+fn bench_components_unionfind(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components");
+    for &n in &[1_000usize, 10_000] {
+        let g = random_graph(n, n * 4, 7);
+        group.bench_with_input(BenchmarkId::new("unionfind", n), &g, |b, g| {
+            b.iter(|| g.components(|_| true));
+        });
+        // BFS baseline (the ablation DESIGN.md calls out): reachable()
+        // from every unvisited node.
+        group.bench_with_input(BenchmarkId::new("bfs", n), &g, |b, g| {
+            b.iter(|| {
+                let mut seen = vec![false; g.node_count()];
+                let mut comps = 0usize;
+                for id in g.node_ids() {
+                    if !seen[id.index()] {
+                        for n in g.reachable(id, |_| true) {
+                            seen[n.index()] = true;
+                        }
+                        comps += 1;
+                    }
+                }
+                comps
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_degree_stats(c: &mut Criterion) {
+    let g = clique_graph(10_000, 25);
+    c.bench_function("relation_stats_10k", |b| {
+        b.iter(|| RelationStats::compute(&g, |&l| l == 1))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_construction,
+    bench_components_unionfind,
+    bench_degree_stats
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Language-substrate benchmarks: lexing, parsing, printing,
+//! canonicalization and diffing — the per-package costs of the SBOM/AST
+//! extraction role (paper §III-C, Packj).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minilang::canon::canonicalize;
+use minilang::diff::line_diff;
+use minilang::gen::{generate, mutate, Behavior, Mutation};
+use minilang::printer::print_module;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sample_source() -> String {
+    let mut rng = StdRng::seed_from_u64(1);
+    let m = generate(Behavior::InfoStealer, &mut rng);
+    print_module(&m)
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let src = sample_source();
+    c.bench_function("parse_malicious_module", |b| {
+        b.iter(|| minilang::parse(&src).expect("generated code parses"))
+    });
+}
+
+fn bench_print(c: &mut Criterion) {
+    let src = sample_source();
+    let module = minilang::parse(&src).expect("parses");
+    c.bench_function("print_module", |b| b.iter(|| print_module(&module)));
+}
+
+fn bench_canonicalize(c: &mut Criterion) {
+    let src = sample_source();
+    let module = minilang::parse(&src).expect("parses");
+    c.bench_function("canonicalize", |b| b.iter(|| canonicalize(&module)));
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let base = generate(Behavior::Backdoor, &mut rng);
+    let mutated = mutate(&base, Mutation::InsertBenignFunction, &mut rng);
+    c.bench_function("line_diff_cc", |b| b.iter(|| line_diff(&base, &mutated)));
+}
+
+fn bench_generate(c: &mut Criterion) {
+    c.bench_function("generate_module", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| generate(Behavior::ExfilAws, &mut rng))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_print,
+    bench_canonicalize,
+    bench_diff,
+    bench_generate
+);
+criterion_main!(benches);

@@ -1,0 +1,924 @@
+//! The reproduction harness: regenerates every table and figure of the
+//! paper from one simulated world, printing paper-reported values next to
+//! measured ones.
+
+use crawler::{collect, CollectedDataset};
+use malgraph_core::analysis::{campaign, diversity, evolution, overlap, quality};
+use malgraph_core::{build, BuildOptions, MalGraph, Relation};
+use oss_types::{ChangeOp, Ecosystem, SimDuration, SourceId};
+use registry_sim::{World, WorldConfig};
+use std::fmt::Write as _;
+
+/// A fully prepared reproduction context: world → corpus → MALGRAPH.
+pub struct Repro {
+    /// The simulated world (ground truth; only used for registry queries
+    /// and validation).
+    pub world: World,
+    /// The collected corpus.
+    pub dataset: CollectedDataset,
+    /// The knowledge graph.
+    pub graph: MalGraph,
+}
+
+/// All experiment identifiers, in paper order.
+pub const EXPERIMENTS: [&str; 19] = [
+    "table1", "fig2", "fig3", "table2", "table3", "table4", "fig4", "table5", "table6", "fig5",
+    "table7", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table8",
+];
+
+impl Repro {
+    /// Builds the context at the given corpus scale.
+    pub fn new(seed: u64, scale: f64) -> Repro {
+        let config = WorldConfig {
+            seed,
+            ..WorldConfig::default()
+        }
+        .with_scale(scale);
+        let world = World::generate(config);
+        let dataset = collect(&world);
+        let graph = build(&dataset, &BuildOptions::default());
+        Repro {
+            world,
+            dataset,
+            graph,
+        }
+    }
+
+    /// Runs one experiment by id and returns its report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not one of [`EXPERIMENTS`].
+    pub fn run(&self, id: &str) -> String {
+        match id {
+            "table1" => self.table1(),
+            "fig2" => self.fig2(),
+            "fig3" => self.fig3(),
+            "table2" => self.table2(),
+            "table3" => self.table3(),
+            "table4" => self.table4(),
+            "fig4" => self.fig4(),
+            "table5" => self.table5(),
+            "table6" => self.table6(),
+            "fig5" => self.fig5(),
+            "table7" => self.table7(),
+            "fig6" => self.fig6(),
+            "fig7" => self.fig7(),
+            "fig8" => self.fig8(),
+            "fig9" => self.fig9(),
+            "fig10" => self.fig10(),
+            "fig11" => self.fig11(),
+            "fig12" => self.fig12(),
+            "table8" => self.table8(),
+            other => panic!("unknown experiment id {other:?}"),
+        }
+    }
+
+    /// Table I — source and size of the initial corpus.
+    pub fn table1(&self) -> String {
+        let counts = self.dataset.table1_counts();
+        let mut out = header(
+            "Table I — source and size of initial malicious packages",
+            "paper: 14,422 unavailable / 9,003 available across 10 sources \
+             (B.K 3,928/1,025 · Mal-PyPI 0/2,915 · Phylum 6,669/642 · Socket 664/0 …)",
+        );
+        let _ = writeln!(out, "{:<22} {:>12} {:>12}", "Data Source", "Unavail #", "Avail #");
+        let mut total_u = 0usize;
+        let mut total_a = 0usize;
+        for source in SourceId::ALL {
+            let &(available, unavailable) = counts.get(&source).unwrap_or(&(0, 0));
+            let _ = writeln!(
+                out,
+                "{:<22} {:>12} {:>12}   [{}]",
+                source.display_name(),
+                unavailable,
+                available,
+                source.category()
+            );
+            total_u += unavailable;
+            total_a += available;
+        }
+        let _ = writeln!(out, "{:<22} {:>12} {:>12}", "Total", total_u, total_a);
+        out
+    }
+
+    /// Fig. 2 — release timeline of the corpus.
+    pub fn fig2(&self) -> String {
+        let mut out = header(
+            "Fig. 2 — release timeline of the malicious packages",
+            "paper: releases span 2018–2024, growing steeply through 2022–2023",
+        );
+        let buckets = malgraph_core::analysis::timeline::releases_per_quarter(&self.dataset, None);
+        let max = buckets.values().max().copied().unwrap_or(1);
+        for ((year, quarter), count) in &buckets {
+            let bar = "#".repeat(1 + count * 40 / max);
+            let _ = writeln!(out, "{year}-Q{quarter} {count:>6} {bar}");
+        }
+        let summary =
+            malgraph_core::analysis::timeline::summarize(&buckets);
+        let _ = writeln!(
+            out,
+            "span {:?} → {:?}, peak {:?}, {:.0}% of releases in 2022+",
+            summary.first,
+            summary.last,
+            summary.peak,
+            100.0 * summary.recent_fraction
+        );
+        out
+    }
+
+    /// Fig. 3 — one example MALGRAPH group, rendered as DOT.
+    pub fn fig3(&self) -> String {
+        let mut out = header(
+            "Fig. 3 — example MALGRAPH malicious-package group (DOT)",
+            "paper: a group mixing duplicated/similar/co-existing edges",
+        );
+        // Pick a medium co-existing group so the rendering stays legible.
+        let groups = self.graph.groups(Relation::Coexisting);
+        let group = groups
+            .iter()
+            .filter(|g| (4..=12).contains(&g.len()))
+            .max_by_key(|g| g.len())
+            .or_else(|| groups.first());
+        match group {
+            Some(group) => out.push_str(&malgraph_core::group_to_dot(&self.graph, group)),
+            None => out.push_str("(no co-existing group in this corpus)\n"),
+        }
+        out
+    }
+
+    /// Table II — node/edge/degree statistics of the four relation graphs.
+    pub fn table2(&self) -> String {
+        let mut out = header(
+            "Table II — the detailed information of MALGRAPH",
+            "paper: DG 2,475 nodes / 316,122 edges (127.7) · DeG 28/16 (0.57) · \
+             SG 6,320 / 5,343,792 (845.5) · CG 2,941 / 575,406 (195.7)",
+        );
+        let _ = writeln!(
+            out,
+            "{:<5} {:>8} {:>12} {:>14} {:>13}",
+            "", "Node", "Edge", "Ave.OutDeg", "Ave.InDeg"
+        );
+        for row in diversity::table2(&self.graph) {
+            let _ = writeln!(
+                out,
+                "{:<5} {:>8} {:>12} {:>14.2} {:>13.2}",
+                row.relation.group_label(),
+                row.nodes,
+                row.edges,
+                row.avg_out_degree,
+                row.avg_in_degree
+            );
+        }
+        out
+    }
+
+    /// Table III — the security-report corpus.
+    pub fn table3(&self) -> String {
+        let mut out = header(
+            "Table III — source of security analysis reports",
+            "paper: 68 websites, 1,366 reports (Tech community 16/516 · \
+             Commercial 15/545 · News 4/143 · Individual 3/95 · Official 1/24 · Other 29/43)",
+        );
+        let mut by_cat: std::collections::BTreeMap<&'static str, (usize, usize)> =
+            Default::default();
+        let mut sites_seen: std::collections::HashSet<&str> = Default::default();
+        for report in &self.dataset.reports {
+            let entry = by_cat.entry(report.category.display_name()).or_default();
+            entry.1 += 1;
+            if sites_seen.insert(report.website.as_str()) {
+                entry.0 += 1;
+            }
+        }
+        let _ = writeln!(out, "{:<22} {:>9} {:>9}", "Category", "Website#", "Report#");
+        let mut tw = 0usize;
+        let mut tr = 0usize;
+        for (cat, (w, r)) in &by_cat {
+            let _ = writeln!(out, "{cat:<22} {w:>9} {r:>9}");
+            tw += w;
+            tr += r;
+        }
+        let _ = writeln!(out, "{:<22} {:>9} {:>9}", "Total", tw, tr);
+        out
+    }
+
+    /// Table IV — the 10×10 source overlap matrix.
+    pub fn table4(&self) -> String {
+        let mut out = header(
+            "Table IV — the overlapping matrix of all sources",
+            "paper: academia↔academia overlap high (B.K↔M.D 1,348), industry↔industry \
+             low (max T.↔P. 539, next S.i↔T. 244); most cells ≈ 0",
+        );
+        let matrix = overlap::overlap_matrix(&self.dataset);
+        out.push_str(&matrix.render());
+        use oss_types::SourceCategory::{Academia, Industry};
+        let _ = writeln!(
+            out,
+            "mean pairwise overlap: academia↔academia {:.1}, academia↔industry {:.1}, \
+             industry↔industry {:.1}",
+            overlap::category_mean_overlap(&matrix, Academia, Academia),
+            overlap::category_mean_overlap(&matrix, Academia, Industry),
+            overlap::category_mean_overlap(&matrix, Industry, Industry),
+        );
+        out
+    }
+
+    /// Fig. 4 — CDF of DG size per ecosystem.
+    pub fn fig4(&self) -> String {
+        let mut out = header(
+            "Fig. 4 — CDF of DG size among NPM, PyPI and RubyGems",
+            "paper: ~80% of packages reported by one source; ~10% by more than three",
+        );
+        for eco in [Ecosystem::Npm, Ecosystem::PyPI, Ecosystem::RubyGems] {
+            let cdf = overlap::dg_size_cdf(&self.dataset, eco);
+            let series: Vec<String> = cdf
+                .iter()
+                .map(|(size, frac)| format!("({size}, {frac:.3})"))
+                .collect();
+            let _ = writeln!(out, "{:<9} {}", eco.display_name(), series.join(" "));
+        }
+        out
+    }
+
+    /// Table V — update frequency per source.
+    pub fn table5(&self) -> String {
+        let mut out = header(
+            "Table V — the update frequency of different online sources",
+            "paper: academia rarely updates (B.K/Mal-PyPI never); industry monthly-ish",
+        );
+        let _ = writeln!(
+            out,
+            "{:<22} {:>12} {:>18} {:>14} {:>12}",
+            "Source", "Last update", "Doc. frequency", "Active months", "Median gap"
+        );
+        for row in quality::update_frequency(&self.dataset) {
+            let last = row
+                .last_update
+                .map(|t| {
+                    let (y, m, _) = t.to_ymd();
+                    format!("{y:04}-{m:02}")
+                })
+                .unwrap_or_else(|| "—".into());
+            let _ = writeln!(
+                out,
+                "{:<22} {:>12} {:>18} {:>14} {:>10.1}d",
+                row.source.display_name(),
+                last,
+                row.frequency,
+                row.active_months,
+                row.median_gap_days
+            );
+        }
+        out
+    }
+
+    /// Table VI — missing rates.
+    pub fn table6(&self) -> String {
+        let mut out = header(
+            "Table VI — the missing rate of all sources",
+            "paper: Socket 100% · Blogs 95.2% · G.A 92.7% · Phylum 91.2% · B.K 79.3% · \
+             Snyk 75.2% · Tianwen 55.4% · dumps 0% — overall 64.14%",
+        );
+        let (rows, overall) = quality::missing_rates(&self.dataset);
+        let _ = writeln!(
+            out,
+            "{:<22} {:>16} {:>11} {:>9}",
+            "Source", "Missing(Total)", "Single MR", "All MR"
+        );
+        for row in rows {
+            let _ = writeln!(
+                out,
+                "{:<22} {:>7} ({:>6}) {:>10.2}% {:>8.2}%",
+                row.source.display_name(),
+                row.missing,
+                row.total,
+                row.single_mr_pct,
+                row.all_mr_pct
+            );
+        }
+        let _ = writeln!(out, "Overall missing rate: {overall:.2}% (paper: 64.14%)");
+        out
+    }
+
+    /// Fig. 5 — the two causes of unavailability, plus a retention sweep.
+    pub fn fig5(&self) -> String {
+        let mut out = header(
+            "Fig. 5 — why malicious packages cannot be obtained from mirrors",
+            "paper: (1) released too early — mirrors reconciled the deletion; \
+             (2) persistence too short — removed before any sync",
+        );
+        let fastest = self
+            .world
+            .mirrors
+            .fastest_interval(Ecosystem::PyPI)
+            .map(|d| d.as_hours())
+            .unwrap_or(6);
+        let census = quality::unavailability_census(
+            &self.dataset,
+            self.world.config.mirror_retention_days,
+            fastest,
+        );
+        let _ = writeln!(out, "released too early:     {:>6}", census.released_too_early);
+        let _ = writeln!(out, "persistence too short:  {:>6}", census.persistence_too_short);
+        let _ = writeln!(out, "ecosystem has no mirror:{:>6}", census.no_mirrors);
+        let _ = writeln!(out, "indeterminate:          {:>6}", census.unknown);
+        // Mechanism sweep: shorter retention ⇒ more "released too early".
+        let _ = writeln!(out, "\nretention sweep (small worlds, seed fixed):");
+        let _ = writeln!(out, "{:>10} {:>12} {:>12}", "retention", "available", "missing%");
+        for retention in [120u64, 240, 400, 600, 900] {
+            let config = WorldConfig {
+                seed: 9,
+                mirror_retention_days: retention,
+                ..WorldConfig::default()
+            };
+            let world = World::generate(config);
+            let candidates = world.dataset_candidates();
+            let avail = candidates
+                .iter()
+                .filter(|&&i| world.package(i).mirror_available)
+                .count();
+            let missing_pct = 100.0 * (candidates.len() - avail) as f64 / candidates.len() as f64;
+            let _ = writeln!(out, "{:>9}d {:>12} {:>11.1}%", retention, avail, missing_pct);
+        }
+        out
+    }
+
+    /// Table VII — group diversity per ecosystem.
+    pub fn table7(&self) -> String {
+        let mut out = header(
+            "Table VII — the overall group diversity",
+            "paper: NPM SG 76 (17.78) DeG 11 (2.36) CG 50 (46.1) · \
+             PyPI SG 36 (137.17) DeG 1 (2) CG 26 (22.69) · RubyGems SG 4 (7.75) DeG 0 CG 6 (7.67)",
+        );
+        let _ = writeln!(
+            out,
+            "{:<9} {:>16} {:>16} {:>16}",
+            "OSS", "SG #(Ave.)", "DeG #(Ave.)", "CG #(Ave.)"
+        );
+        for row in diversity::table7(&self.graph) {
+            let cell = |c: &diversity::DiversityCell| format!("{} ({:.2})", c.groups, c.avg_size);
+            let _ = writeln!(
+                out,
+                "{:<9} {:>16} {:>16} {:>16}",
+                row.ecosystem.display_name(),
+                cell(&row.sg),
+                cell(&row.deg),
+                cell(&row.cg)
+            );
+        }
+        out
+    }
+
+    /// Fig. 6 — life-cycle statistics.
+    pub fn fig6(&self) -> String {
+        let mut out = header(
+            "Fig. 6 — the life cycle of a malicious package",
+            "paper: {changing→release→detection→removal} repeats; removal is fast",
+        );
+        let stats = campaign::lifecycle_stats(&self.dataset);
+        let _ = writeln!(out, "packages with full life-cycle metadata: {}", stats.measured);
+        let _ = writeln!(
+            out,
+            "persistence (release→removal): median {:.1}h, p90 {:.1}h",
+            stats.median_persistence_hours, stats.p90_persistence_hours
+        );
+        let _ = writeln!(
+            out,
+            "removed within 24h of release: {:.1}%",
+            100.0 * stats.removed_within_day
+        );
+        // One concrete cycle, reconstructed from the corpus: a similar
+        // group's first two attempts show {release → removal → changing →
+        // re-release}.
+        let sequences = evolution::release_sequences(&self.graph, &self.dataset);
+        if let Some(seq) = sequences.iter().find(|s| {
+            s.len() >= 2 && s[0].meta.is_some_and(|m| m.removed.is_some())
+        }) {
+            let first = seq[0];
+            let second = seq[1];
+            let meta = first.meta.expect("checked");
+            let _ = writeln!(out, "
+example cycle:");
+            let _ = writeln!(out, "  release   {}  at {}", first.id, meta.released);
+            if let Some(removed) = meta.removed {
+                let _ = writeln!(
+                    out,
+                    "  detection/removal        after {}",
+                    removed - meta.released
+                );
+            }
+            let ops = evolution::detect_change(
+                &first.id,
+                first.archive.as_ref(),
+                &second.id,
+                second.archive.as_ref(),
+            );
+            let _ = writeln!(out, "  changing  {}", ops.ops);
+            if let Some(meta2) = second.meta {
+                let _ = writeln!(out, "  re-release {} at {}", second.id, meta2.released);
+            }
+        }
+        out
+    }
+
+    /// Fig. 7 — a dependency-attack walkthrough from the corpus.
+    pub fn fig7(&self) -> String {
+        let mut out = header(
+            "Fig. 7 — the attack based on the dependency library",
+            "paper: the front package looks benign; installing it pulls the malicious dependency",
+        );
+        let groups = self.graph.groups(Relation::Dependency);
+        let Some(group) = groups.first() else {
+            out.push_str("(no dependency group in this corpus)\n");
+            return out;
+        };
+        // Orient the story: the node with an outgoing Dependency edge is
+        // the front; the target is the hidden library.
+        for &node_id in group {
+            let node = self.graph.graph.node(node_id);
+            for &(target, label) in self.graph.graph.out_edges(node_id) {
+                if label == Relation::Dependency {
+                    let lib = self.graph.graph.node(target);
+                    let _ = writeln!(
+                        out,
+                        "front   {}  --declares dependency-->  library {}",
+                        node.package, lib.package
+                    );
+                    let _ = writeln!(
+                        out,
+                        "install of the front auto-downloads the library; \
+                         the payload runs from the library's install hook"
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Fig. 8 — the August-2023 npm campaign timeline.
+    pub fn fig8(&self) -> String {
+        let mut out = header(
+            "Fig. 8 — subsequent malicious packages released in npm, August 2023",
+            "paper: 1 package on Aug 9; 6 similar by Aug 12; most recently cloud-layout, \
+             urs-remote, etc-crypto, mh-web-hardware, mall-front-babel-directive (15 total)",
+        );
+        let member: oss_types::PackageId = "npm/etc-crypto@1.0.0".parse().expect("valid id");
+        let timeline = campaign::campaign_timeline(&self.graph, &self.dataset, &member);
+        if timeline.is_empty() {
+            out.push_str("(showcase campaign not present at this scale)\n");
+            return out;
+        }
+        for entry in &timeline {
+            let (y, m, d) = entry.released.to_ymd();
+            let _ = writeln!(out, "{y:04}-{m:02}-{d:02}  {}", entry.package);
+        }
+        let _ = writeln!(out, "total: {} packages", timeline.len());
+        out
+    }
+
+    /// Fig. 9 — CDF of active periods per group type.
+    pub fn fig9(&self) -> String {
+        let mut out = header(
+            "Fig. 9 — the active period of CG, DeG and SG groups",
+            "paper: 80% SG within days · 80% CG within a year · DeG longest (≈3 years)",
+        );
+        for relation in [Relation::Similar, Relation::Coexisting, Relation::Dependency] {
+            let periods = campaign::active_periods(&self.graph, &self.dataset, relation);
+            if periods.is_empty() {
+                let _ = writeln!(out, "{:<4} (no groups)", relation.group_label());
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:<4} groups {:>5} · ≤7d {:>5.1}% · ≤90d {:>5.1}% · ≤1y {:>5.1}% · ≤3y {:>5.1}%",
+                relation.group_label(),
+                periods.len(),
+                100.0 * campaign::fraction_within(&periods, SimDuration::days(7)),
+                100.0 * campaign::fraction_within(&periods, SimDuration::days(90)),
+                100.0 * campaign::fraction_within(&periods, SimDuration::years(1)),
+                100.0 * campaign::fraction_within(&periods, SimDuration::years(3)),
+            );
+        }
+        out
+    }
+
+    /// Fig. 10 — one campaign's release attempts with operations and
+    /// download counts.
+    pub fn fig10(&self) -> String {
+        let mut out = header(
+            "Fig. 10 — an attack campaign in the timeline (release attempts, ops, downloads)",
+            "paper: each attempt applies a changing operation and accrues downloads until removal",
+        );
+        let sequences = evolution::release_sequences(&self.graph, &self.dataset);
+        let Some(seq) = sequences
+            .iter()
+            .filter(|s| (5..=25).contains(&s.len()))
+            .max_by_key(|s| s.len())
+            .or_else(|| sequences.first())
+        else {
+            out.push_str("(no similar group in this corpus)\n");
+            return out;
+        };
+        let _ = writeln!(out, "{:<3} {:<40} {:<22} {:>9}", "i", "package", "op_i (detected)", "n_i");
+        for (i, pair) in std::iter::once(None)
+            .chain(seq.windows(2).map(Some))
+            .enumerate()
+            .take(seq.len())
+        {
+            let pkg = seq[i];
+            let ops = match pair {
+                None => "—".to_string(),
+                Some(w) => evolution::detect_change(
+                    &w[0].id,
+                    w[0].archive.as_ref(),
+                    &w[1].id,
+                    w[1].archive.as_ref(),
+                )
+                .ops
+                .to_string(),
+            };
+            let downloads = pkg.meta.map(|m| m.downloads).unwrap_or(0);
+            let _ = writeln!(out, "{:<3} {:<40} {:<22} {:>9}", i, pkg.id.to_string(), ops, downloads);
+        }
+        out
+    }
+
+    /// Fig. 11 — download evolution box plot.
+    pub fn fig11(&self) -> String {
+        let mut out = header(
+            "Fig. 11 — the box plot of download evolution",
+            "paper: most attempts 0–1 downloads; a minority 10–40; outliers in the millions",
+        );
+        let sequences = evolution::release_sequences(&self.graph, &self.dataset);
+        // SG series plus version lineages — the lineages contribute the
+        // popular-package outliers the paper calls out.
+        let mut series: Vec<Vec<u64>> = sequences
+            .iter()
+            .map(|seq| seq.iter().filter_map(|p| p.meta.map(|m| m.downloads)).collect())
+            .collect();
+        series.extend(evolution::lineage_download_series(&self.dataset, &self.world));
+        let boxes = evolution::download_evolution_from_series(&series, 10);
+        let _ = writeln!(
+            out,
+            "{:>5} {:>6} {:>8} {:>8} {:>8} {:>8} {:>12}",
+            "order", "n", "min", "q1", "median", "q3", "max"
+        );
+        for b in boxes {
+            let _ = writeln!(
+                out,
+                "{:>5} {:>6} {:>8} {:>8} {:>8} {:>8} {:>12}",
+                b.order, b.n, b.min, b.q1, b.median, b.q3, b.max
+            );
+        }
+        out
+    }
+
+    /// Fig. 12 — the changing-operation distribution.
+    pub fn fig12(&self) -> String {
+        let mut out = header(
+            "Fig. 12 — the operation distribution",
+            "paper: CN 98.92% · CC 39.76% · CV and CDep rare · CC changes ≈3.7 lines",
+        );
+        let sequences = evolution::release_sequences(&self.graph, &self.dataset);
+        let dist = evolution::op_distribution(&sequences);
+        let _ = writeln!(out, "re-release attempts analysed: {}", dist.attempts);
+        for op in ChangeOp::ALL {
+            let _ = writeln!(out, "{:<5} {:>6.2}%", op.label(), dist.pct_of(op));
+        }
+        let _ = writeln!(out, "mean changed lines per CC: {:.2} (paper: 3.7)", dist.mean_cc_lines);
+        out
+    }
+
+    /// Table VIII — top-10 increasing download numbers with operations.
+    pub fn table8(&self) -> String {
+        let mut out = header(
+            "Table VIII — top-10 increasing download number with the operation",
+            "paper: top IDN 66,092,932 with (CDep, CD, CN, CC); multi-op trojan lineages dominate",
+        );
+        let rows = evolution::idn_ranking(&self.dataset, &self.world, 10);
+        let _ = writeln!(out, "{:>12}  {:<24} package", "IDN", "Operation");
+        for row in rows {
+            let _ = writeln!(
+                out,
+                "{:>12}  {:<24} {}",
+                row.idn,
+                row.ops.to_string(),
+                row.package
+            );
+        }
+        out
+    }
+
+    /// Extension experiment — detector evaluation. The paper *asserts*
+    /// that "today's defense tools work well because malicious packages
+    /// use old and known attack behaviors" (finding 2); the simulator's
+    /// ground truth lets the reproduction measure it.
+    pub fn detection(&self) -> String {
+        let mut out = header(
+            "Extension — static & sandbox detector evaluation (paper finding 2, quantified)",
+            "paper: known behaviours ⇒ existing tools detect them easily; no numbers given",
+        );
+        let report = detector::evaluate_world(&self.world);
+        let _ = writeln!(out, "{report}");
+        // Behaviour census of the *collected* corpus: what an analyst
+        // running the sandbox over every recovered archive would see.
+        let sandbox = detector::DynamicDetector::default();
+        let mut census: std::collections::BTreeMap<String, usize> = Default::default();
+        for pkg in &self.dataset.packages {
+            if let Some(archive) = &pkg.archive {
+                let verdict = sandbox.analyze_source(&archive.code);
+                for label in verdict.labels {
+                    *census.entry(label.to_string()).or_default() += 1;
+                }
+            }
+        }
+        let _ = writeln!(out, "
+behaviour census over recovered archives:");
+        for (label, count) in census {
+            let _ = writeln!(out, "  {label:<18} {count:>6}");
+        }
+        out
+    }
+
+    /// Extension experiment — typosquat targeting census.
+    pub fn typosquat(&self) -> String {
+        let mut out = header(
+            "Extension — typosquat targeting (§V: 'the most popular attack vector')",
+            "which legitimate packages the corpus impersonates, by edit distance ≤ 2",
+        );
+        let census =
+            malgraph_core::analysis::typosquat::typosquat_census(&self.dataset, None);
+        let _ = writeln!(
+            out,
+            "{} of {} corpus packages squat a popular name ({:.1}%)",
+            census.squatting_packages,
+            census.total_packages,
+            100.0 * census.squat_rate()
+        );
+        for row in census.rows.iter().take(10) {
+            let _ = writeln!(out, "  {:<12} {:>5}", row.target, row.squatters);
+        }
+        out
+    }
+
+    /// Extension experiment — scaling check: Table II absolute counts
+    /// grow with the corpus while the shape (SG densest, DeG tiny) holds,
+    /// which is why the reproduction matches shapes rather than absolute
+    /// edge counts.
+    pub fn scaling(&self) -> String {
+        let mut out = header(
+            "Extension — Table II counts across corpus scales",
+            "absolute counts are scale-dependent; the relation ordering is not",
+        );
+        let _ = writeln!(
+            out,
+            "{:>6} {:>10} {:>10} {:>10} {:>10}",
+            "scale", "DG edges", "DeG edges", "SG edges", "CG edges"
+        );
+        for scale in [0.02f64, 0.05, 0.10] {
+            let repro = Repro::new(7, scale);
+            let row: Vec<usize> = Relation::ALL
+                .iter()
+                .map(|&r| repro.graph.relation_stats(r).edges)
+                .collect();
+            let _ = writeln!(
+                out,
+                "{:>6} {:>10} {:>10} {:>10} {:>10}",
+                scale, row[0], row[1], row[2], row[3]
+            );
+        }
+        out
+    }
+
+    /// Validation extras beyond the paper: similarity-pipeline quality
+    /// against the simulator's ground-truth campaigns.
+    pub fn validation(&self) -> String {
+        let mut out = header(
+            "Validation — SG recovery vs. ground-truth campaigns (beyond the paper)",
+            "the paper had no ground truth for the similar relation (§III-C); the simulator does",
+        );
+        // Adjusted Rand index between SG membership and true campaigns,
+        // over packages that appear in some SG.
+        let mut labels_true: Vec<usize> = Vec::new();
+        let mut labels_sg: Vec<usize> = Vec::new();
+        for (gi, group) in self.graph.groups(Relation::Similar).iter().enumerate() {
+            for &node in group {
+                let pkg_id = &self.graph.graph.node(node).package;
+                let truth = self
+                    .world
+                    .packages
+                    .iter()
+                    .find(|p| &p.id == pkg_id)
+                    .and_then(|p| p.campaign.map(|c| c.index() + 1))
+                    .unwrap_or(0);
+                labels_true.push(truth);
+                labels_sg.push(gi + 1);
+            }
+        }
+        if labels_true.len() > 1 {
+            let ari = cluster::metrics::adjusted_rand_index(&labels_true, &labels_sg);
+            let _ = writeln!(out, "packages in SGs: {}", labels_true.len());
+            let _ = writeln!(out, "adjusted Rand index vs. true campaigns: {ari:.3}");
+        } else {
+            let _ = writeln!(out, "(not enough SG members for validation)");
+        }
+        for (eco, diag) in &self.graph.similarity_diagnostics {
+            let _ = writeln!(
+                out,
+                "{:<9} chosen k = {} (schedule tried {} values)",
+                eco.display_name(),
+                diag.chosen_k,
+                diag.trace.len()
+            );
+        }
+        out
+    }
+}
+
+/// One pass/fail comparison against a paper-derived acceptance band.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// What is being checked.
+    pub name: &'static str,
+    /// Whether the measured value satisfied the band.
+    pub pass: bool,
+    /// Measured value and band, human-readable.
+    pub detail: String,
+}
+
+impl Repro {
+    /// Programmatic acceptance checks: the headline findings of the paper
+    /// as machine-verifiable bands over this run's measurements. Used by
+    /// `repro --check` and the release test-suite.
+    pub fn checks(&self) -> Vec<Check> {
+        let mut out = Vec::new();
+        let mut push = |name: &'static str, pass: bool, detail: String| {
+            out.push(Check { name, pass, detail });
+        };
+
+        // RQ1 — overlap structure.
+        let matrix = overlap::overlap_matrix(&self.dataset);
+        use oss_types::SourceCategory::{Academia, Industry};
+        let aa = overlap::category_mean_overlap(&matrix, Academia, Academia);
+        let ii = overlap::category_mean_overlap(&matrix, Industry, Industry);
+        push(
+            "academia overlap exceeds industry overlap",
+            aa > ii,
+            format!("academia {aa:.1} vs industry {ii:.1}"),
+        );
+        let cdf = overlap::dg_size_cdf(&self.dataset, Ecosystem::PyPI);
+        let single = cdf.first().map(|&(_, f)| f).unwrap_or(0.0);
+        push(
+            "most packages are single-source (Fig. 4 ≈80%)",
+            single > 0.6,
+            format!("single-source fraction {single:.2}"),
+        );
+
+        // RQ1 — missing rates.
+        let (rows, overall) = quality::missing_rates(&self.dataset);
+        push(
+            "overall missing rate near the paper's 64%",
+            (40.0..80.0).contains(&overall),
+            format!("measured {overall:.1}% (band 40–80)"),
+        );
+        let dumps_clean = rows
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.source,
+                    SourceId::Maloss | SourceId::MalPyPI | SourceId::DataDog
+                )
+            })
+            .all(|r| r.single_mr_pct == 0.0);
+        push("dataset dumps have 0% missing rate", dumps_clean, String::new());
+
+        // RQ2 — diversity shape.
+        let rows7 = diversity::table7(&self.graph);
+        let npm = rows7.iter().find(|r| r.ecosystem == Ecosystem::Npm);
+        let pypi = rows7.iter().find(|r| r.ecosystem == Ecosystem::PyPI);
+        if let (Some(npm), Some(pypi)) = (npm, pypi) {
+            push(
+                "PyPI SG groups larger than NPM on average (flood)",
+                pypi.sg.avg_size > npm.sg.avg_size,
+                format!("PyPI {:.1} vs NPM {:.1}", pypi.sg.avg_size, npm.sg.avg_size),
+            );
+            push(
+                "DeG groups stay tiny (≈2 packages)",
+                npm.deg.groups == 0 || npm.deg.avg_size <= 4.0,
+                format!("NPM DeG mean {:.1}", npm.deg.avg_size),
+            );
+        }
+        let t2 = diversity::table2(&self.graph);
+        let sg_deg = t2
+            .iter()
+            .find(|r| r.relation == Relation::Similar)
+            .map(|r| r.avg_out_degree)
+            .unwrap_or(0.0);
+        let densest = t2.iter().all(|r| r.avg_out_degree <= sg_deg);
+        push("SG is the densest relation graph (Table II shape)", densest, String::new());
+
+        // RQ3 — active periods.
+        let sg = campaign::active_periods(&self.graph, &self.dataset, Relation::Similar);
+        let deg = campaign::active_periods(&self.graph, &self.dataset, Relation::Dependency);
+        let mean =
+            |v: &[SimDuration]| v.iter().map(|d| d.as_days_f64()).sum::<f64>() / v.len().max(1) as f64;
+        push(
+            "DeG campaigns far outlast SG campaigns (Fig. 9)",
+            !deg.is_empty() && mean(&deg) > mean(&sg) * 3.0,
+            format!("DeG {:.0}d vs SG {:.0}d", mean(&deg), mean(&sg)),
+        );
+        let member: oss_types::PackageId = "npm/etc-crypto@1.0.0".parse().expect("valid");
+        let timeline = campaign::campaign_timeline(&self.graph, &self.dataset, &member);
+        push(
+            "the Fig.-8 showcase campaign reconstructs with 15 packages",
+            timeline.len() == 15,
+            format!("found {}", timeline.len()),
+        );
+
+        // RQ4 — operations and downloads.
+        let sequences = evolution::release_sequences(&self.graph, &self.dataset);
+        let dist = evolution::op_distribution(&sequences);
+        push(
+            "CN dominates re-releases (Fig. 12 ≈98.9%)",
+            dist.pct_of(ChangeOp::ChangeName) > 90.0,
+            format!("CN {:.1}%", dist.pct_of(ChangeOp::ChangeName)),
+        );
+        push(
+            "CV and CDep are rare (Fig. 12)",
+            dist.pct_of(ChangeOp::ChangeVersion) < 10.0
+                && dist.pct_of(ChangeOp::ChangeDependency) < 10.0,
+            format!(
+                "CV {:.1}%, CDep {:.1}%",
+                dist.pct_of(ChangeOp::ChangeVersion),
+                dist.pct_of(ChangeOp::ChangeDependency)
+            ),
+        );
+        push(
+            "CC diffs are small (paper ≈3.7 lines)",
+            dist.mean_cc_lines > 0.5 && dist.mean_cc_lines < 12.0,
+            format!("mean {:.1} lines", dist.mean_cc_lines),
+        );
+        let idn = evolution::idn_ranking(&self.dataset, &self.world, 10);
+        push(
+            "top IDN is a large trojan lineage (Table VIII)",
+            idn.first().is_some_and(|r| r.idn > 1_000_000),
+            format!("top IDN {}", idn.first().map(|r| r.idn).unwrap_or(0)),
+        );
+        out
+    }
+}
+
+fn header(title: &str, paper: &str) -> String {
+    format!("== {title}\n   [{paper}]\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repro() -> Repro {
+        Repro::new(5, 0.05)
+    }
+
+    #[test]
+    fn every_experiment_runs_and_reports() {
+        let r = repro();
+        for id in EXPERIMENTS {
+            let out = r.run(id);
+            assert!(out.starts_with("== "), "{id} lacks a header");
+            assert!(out.len() > 80, "{id} output suspiciously short:\n{out}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_id_panics() {
+        repro().run("table99");
+    }
+
+    #[test]
+    fn validation_reports_ari() {
+        let out = repro().validation();
+        assert!(out.contains("adjusted Rand index"));
+    }
+
+    #[test]
+    fn extension_sections_render() {
+        let r = repro();
+        assert!(r.detection().contains("precision"));
+        assert!(r.typosquat().contains("squat"));
+    }
+
+    #[test]
+    fn acceptance_checks_pass_at_test_scale() {
+        let r = repro();
+        let checks = r.checks();
+        assert!(checks.len() >= 10);
+        let failures: Vec<String> = checks
+            .iter()
+            .filter(|c| !c.pass)
+            .map(|c| format!("{}: {}", c.name, c.detail))
+            .collect();
+        assert!(failures.is_empty(), "failed checks:\n{}", failures.join("\n"));
+    }
+}

@@ -1,0 +1,13 @@
+//! Benchmark & reproduction harness for the MALGRAPH paper.
+//!
+//! * [`harness`] — regenerates every table and figure of the paper's
+//!   evaluation from a calibrated simulated world (`repro` binary);
+//! * `benches/` — Criterion performance benches for the pipeline stages
+//!   and the design-choice ablations listed in `DESIGN.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::{Repro, EXPERIMENTS};

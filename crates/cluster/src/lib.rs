@@ -1,0 +1,430 @@
+//! K-Means clustering, from scratch.
+//!
+//! The paper clusters package embeddings with scikit-learn's K-Means:
+//! "The initial number of clusters is set to 3, and we increase the number
+//! of clusters until the centroids of newly formed clusters do not change"
+//! (§III-A). This crate reimplements that pipeline:
+//!
+//! * [`kmeans`] — k-means++ seeding + Lloyd iterations;
+//! * [`auto_kmeans`] — the paper's grow-k-until-stable schedule;
+//! * [`metrics`] — silhouette score, adjusted Rand index and inertia, used
+//!   by the validation tests and the ablation benchmarks.
+//!
+//! Points are plain `&[f32]` slices so the crate has no dependency on the
+//! embedding layer.
+//!
+//! # Examples
+//!
+//! ```
+//! use cluster::{kmeans, KMeansConfig};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let data = vec![
+//!     vec![0.0, 0.0], vec![0.1, 0.0], vec![10.0, 10.0], vec![10.1, 10.0],
+//! ];
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let result = kmeans(&data, 2, &KMeansConfig::default(), &mut rng);
+//! assert_eq!(result.assignments[0], result.assignments[1]);
+//! assert_ne!(result.assignments[0], result.assignments[2]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+
+use rand::Rng;
+
+/// Tuning knobs for Lloyd's algorithm.
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Maximum Lloyd iterations per run.
+    pub max_iters: usize,
+    /// Convergence threshold on total centroid movement (squared).
+    pub tolerance: f32,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            max_iters: 100,
+            tolerance: 1e-6,
+        }
+    }
+}
+
+/// Result of one K-Means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Final centroids, `k` of them.
+    pub centroids: Vec<Vec<f32>>,
+    /// Cluster index per input point.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances of points to their centroid.
+    pub inertia: f32,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Sizes of each cluster.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+
+    /// Groups point indices by cluster.
+    pub fn clusters(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.k()];
+        for (i, &a) in self.assignments.iter().enumerate() {
+            groups[a].push(i);
+        }
+        groups
+    }
+}
+
+fn distance_sq(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Runs K-Means with k-means++ initialization.
+///
+/// If `k >= data.len()`, every point becomes its own cluster.
+///
+/// # Panics
+///
+/// Panics if `data` is empty, `k == 0`, or points have inconsistent
+/// dimensions.
+pub fn kmeans<P: AsRef<[f32]>>(
+    data: &[P],
+    k: usize,
+    config: &KMeansConfig,
+    rng: &mut impl Rng,
+) -> KMeansResult {
+    assert!(!data.is_empty(), "cannot cluster an empty dataset");
+    assert!(k > 0, "k must be positive");
+    let dim = data[0].as_ref().len();
+    assert!(
+        data.iter().all(|p| p.as_ref().len() == dim),
+        "inconsistent point dimensions"
+    );
+    let k = k.min(data.len());
+
+    let mut centroids = init_plus_plus(data, k, rng);
+    let mut assignments = vec![0usize; data.len()];
+    let mut iterations = 0;
+
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+        // Assignment step.
+        for (i, point) in data.iter().enumerate() {
+            let p = point.as_ref();
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = distance_sq(p, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            assignments[i] = best;
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0f32; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, point) in data.iter().enumerate() {
+            let a = assignments[i];
+            counts[a] += 1;
+            for (s, v) in sums[a].iter_mut().zip(point.as_ref()) {
+                *s += v;
+            }
+        }
+        let mut movement = 0.0f32;
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Empty cluster: re-seed on the point farthest from its
+                // centroid, the standard fix-up.
+                let far = (0..data.len())
+                    .max_by(|&a, &b| {
+                        let da = distance_sq(data[a].as_ref(), &centroids[assignments[a]]);
+                        let db = distance_sq(data[b].as_ref(), &centroids[assignments[b]]);
+                        da.total_cmp(&db)
+                    })
+                    .expect("data non-empty");
+                let fresh: Vec<f32> = data[far].as_ref().to_vec();
+                movement += distance_sq(&fresh, &centroids[c]);
+                centroids[c] = fresh;
+                continue;
+            }
+            let mut fresh = sums[c].clone();
+            for v in &mut fresh {
+                *v /= counts[c] as f32;
+            }
+            movement += distance_sq(&fresh, &centroids[c]);
+            centroids[c] = fresh;
+        }
+        if movement <= config.tolerance {
+            break;
+        }
+    }
+
+    // Final assignment against converged centroids.
+    let mut inertia = 0.0f32;
+    for (i, point) in data.iter().enumerate() {
+        let p = point.as_ref();
+        let mut best = 0usize;
+        let mut best_d = f32::INFINITY;
+        for (c, centroid) in centroids.iter().enumerate() {
+            let d = distance_sq(p, centroid);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        assignments[i] = best;
+        inertia += best_d;
+    }
+
+    KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    }
+}
+
+/// k-means++ seeding: first centroid uniform, then each next centroid
+/// sampled proportionally to squared distance from the nearest chosen one.
+fn init_plus_plus<P: AsRef<[f32]>>(data: &[P], k: usize, rng: &mut impl Rng) -> Vec<Vec<f32>> {
+    let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
+    let first = rng.gen_range(0..data.len());
+    centroids.push(data[first].as_ref().to_vec());
+    let mut dists: Vec<f32> = data
+        .iter()
+        .map(|p| distance_sq(p.as_ref(), &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f32 = dists.iter().sum();
+        let chosen = if total <= f32::EPSILON {
+            // All points coincide with chosen centroids; pick uniformly.
+            rng.gen_range(0..data.len())
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut idx = 0;
+            for (i, &d) in dists.iter().enumerate() {
+                if target < d {
+                    idx = i;
+                    break;
+                }
+                target -= d;
+                idx = i;
+            }
+            idx
+        };
+        centroids.push(data[chosen].as_ref().to_vec());
+        let last = centroids.last().expect("just pushed");
+        for (d, p) in dists.iter_mut().zip(data) {
+            *d = d.min(distance_sq(p.as_ref(), last));
+        }
+    }
+    centroids
+}
+
+/// Outcome of the paper's grow-k schedule.
+#[derive(Debug, Clone)]
+pub struct AutoKResult {
+    /// The selected clustering.
+    pub result: KMeansResult,
+    /// Every `k` that was tried, with its inertia, for the ablation bench.
+    pub trace: Vec<(usize, f32)>,
+}
+
+/// The paper's cluster-count schedule: start at `k = 3` and grow `k`
+/// until the *newly formed* clusters stop changing the solution — here
+/// measured as the relative inertia improvement dropping below
+/// `min_improvement` (default 5%), the standard elbow reading of
+/// "centroids of newly formed clusters do not change".
+///
+/// # Panics
+///
+/// Panics if `data` is empty (see [`kmeans`]).
+pub fn auto_kmeans<P: AsRef<[f32]>>(
+    data: &[P],
+    config: &KMeansConfig,
+    min_improvement: f32,
+    max_k: usize,
+    rng: &mut impl Rng,
+) -> AutoKResult {
+    let mut k = 3.min(data.len());
+    let mut best = kmeans(data, k, config, rng);
+    let mut trace = vec![(k, best.inertia)];
+    while k < max_k.min(data.len()) {
+        let next = kmeans(data, k + 1, config, rng);
+        trace.push((k + 1, next.inertia));
+        let improvement = if best.inertia <= f32::EPSILON {
+            0.0
+        } else {
+            (best.inertia - next.inertia) / best.inertia
+        };
+        if improvement < min_improvement {
+            break;
+        }
+        best = next;
+        k += 1;
+    }
+    AutoKResult {
+        result: best,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blobs(centers: &[(f32, f32)], per: usize, spread: f32, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::new();
+        for &(cx, cy) in centers {
+            for _ in 0..per {
+                data.push(vec![
+                    cx + rng.gen_range(-spread..spread),
+                    cy + rng.gen_range(-spread..spread),
+                ]);
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn separates_well_separated_blobs() {
+        let data = blobs(&[(0.0, 0.0), (10.0, 10.0), (20.0, 0.0)], 30, 0.5, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let res = kmeans(&data, 3, &KMeansConfig::default(), &mut rng);
+        let sizes = res.cluster_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 90);
+        assert!(sizes.iter().all(|&s| s == 30), "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let data = blobs(&[(0.0, 0.0), (8.0, 8.0)], 25, 1.0, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let one = kmeans(&data, 1, &KMeansConfig::default(), &mut rng);
+        let two = kmeans(&data, 2, &KMeansConfig::default(), &mut rng);
+        assert!(two.inertia < one.inertia);
+    }
+
+    #[test]
+    fn k_equal_n_gives_zero_inertia() {
+        let data = blobs(&[(0.0, 0.0)], 5, 1.0, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let res = kmeans(&data, 5, &KMeansConfig::default(), &mut rng);
+        assert!(res.inertia < 1e-6);
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let data = blobs(&[(0.0, 0.0)], 4, 0.5, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let res = kmeans(&data, 10, &KMeansConfig::default(), &mut rng);
+        assert_eq!(res.k(), 4);
+    }
+
+    #[test]
+    fn identical_points_dont_crash() {
+        let data = vec![vec![1.0, 1.0]; 10];
+        let mut rng = StdRng::seed_from_u64(9);
+        let res = kmeans(&data, 3, &KMeansConfig::default(), &mut rng);
+        assert!(res.inertia < 1e-9);
+    }
+
+    #[test]
+    fn single_point() {
+        let data = vec![vec![2.0, 3.0]];
+        let mut rng = StdRng::seed_from_u64(10);
+        let res = kmeans(&data, 1, &KMeansConfig::default(), &mut rng);
+        assert_eq!(res.assignments, vec![0]);
+        assert_eq!(res.centroids[0], vec![2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_data_panics() {
+        let data: Vec<Vec<f32>> = vec![];
+        let mut rng = StdRng::seed_from_u64(11);
+        kmeans(&data, 2, &KMeansConfig::default(), &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let data = vec![vec![0.0]];
+        let mut rng = StdRng::seed_from_u64(12);
+        kmeans(&data, 0, &KMeansConfig::default(), &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn mismatched_dims_panic() {
+        let data = vec![vec![0.0], vec![0.0, 1.0]];
+        let mut rng = StdRng::seed_from_u64(13);
+        kmeans(&data, 1, &KMeansConfig::default(), &mut rng);
+    }
+
+    #[test]
+    fn auto_k_finds_roughly_the_right_count() {
+        let data = blobs(
+            &[(0.0, 0.0), (15.0, 0.0), (0.0, 15.0), (15.0, 15.0), (30.0, 30.0)],
+            25,
+            0.8,
+            14,
+        );
+        let mut rng = StdRng::seed_from_u64(15);
+        // 25% threshold: splitting a true blob only buys ~10% inertia,
+        // while recovering a merged blob buys far more.
+        let auto = auto_kmeans(&data, &KMeansConfig::default(), 0.25, 20, &mut rng);
+        assert!(
+            (4..=7).contains(&auto.result.k()),
+            "expected ~5 clusters, got {}",
+            auto.result.k()
+        );
+        assert!(auto.trace.len() >= 2);
+    }
+
+    #[test]
+    fn auto_k_starts_at_three() {
+        let data = blobs(&[(0.0, 0.0)], 30, 0.5, 16);
+        let mut rng = StdRng::seed_from_u64(17);
+        let auto = auto_kmeans(&data, &KMeansConfig::default(), 0.05, 20, &mut rng);
+        assert_eq!(auto.trace[0].0, 3, "paper starts the schedule at k=3");
+    }
+
+    #[test]
+    fn clusters_partition_the_input() {
+        let data = blobs(&[(0.0, 0.0), (9.0, 9.0)], 20, 1.0, 18);
+        let mut rng = StdRng::seed_from_u64(19);
+        let res = kmeans(&data, 2, &KMeansConfig::default(), &mut rng);
+        let mut seen: Vec<usize> = res.clusters().into_iter().flatten().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..40).collect::<Vec<_>>());
+    }
+}

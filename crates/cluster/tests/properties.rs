@@ -1,0 +1,110 @@
+//! Property-based tests for K-Means: the converged solution must satisfy
+//! the Lloyd invariants regardless of input shape.
+
+use cluster::{kmeans, KMeansConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_points() -> impl Strategy<Value = Vec<Vec<f32>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(-100.0f32..100.0, 2),
+        1..40,
+    )
+}
+
+fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_point_is_assigned_to_its_nearest_centroid(
+        data in arb_points(),
+        k in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let res = kmeans(&data, k, &KMeansConfig::default(), &mut rng);
+        for (i, point) in data.iter().enumerate() {
+            let own = dist_sq(point, &res.centroids[res.assignments[i]]);
+            for centroid in &res.centroids {
+                prop_assert!(
+                    own <= dist_sq(point, centroid) + 1e-3,
+                    "point {} not assigned to nearest centroid",
+                    i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inertia_equals_sum_of_squared_distances(
+        data in arb_points(),
+        k in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let res = kmeans(&data, k, &KMeansConfig::default(), &mut rng);
+        let recomputed: f32 = data
+            .iter()
+            .enumerate()
+            .map(|(i, p)| dist_sq(p, &res.centroids[res.assignments[i]]))
+            .sum();
+        let scale = recomputed.abs().max(1.0);
+        prop_assert!(
+            (res.inertia - recomputed).abs() / scale < 1e-3,
+            "inertia {} vs recomputed {}",
+            res.inertia,
+            recomputed
+        );
+    }
+
+    #[test]
+    fn assignments_form_a_partition(
+        data in arb_points(),
+        k in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let res = kmeans(&data, k, &KMeansConfig::default(), &mut rng);
+        prop_assert_eq!(res.assignments.len(), data.len());
+        prop_assert!(res.assignments.iter().all(|&a| a < res.k()));
+        let sizes = res.cluster_sizes();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), data.len());
+        let flattened: usize = res.clusters().iter().map(Vec::len).sum();
+        prop_assert_eq!(flattened, data.len());
+    }
+
+    #[test]
+    fn kmeans_is_deterministic_per_seed(
+        data in arb_points(),
+        k in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            kmeans(&data, k, &KMeansConfig::default(), &mut rng)
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.assignments, b.assignments);
+        prop_assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn more_clusters_never_increase_inertia_much(
+        data in arb_points(),
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(data.len() >= 4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k1 = kmeans(&data, 1, &KMeansConfig::default(), &mut rng);
+        let kn = kmeans(&data, data.len(), &KMeansConfig::default(), &mut rng);
+        // k = n is always (near) zero inertia; k = 1 is the upper bound.
+        prop_assert!(kn.inertia <= k1.inertia + 1e-3);
+        prop_assert!(kn.inertia < 1e-3);
+    }
+}

@@ -1,0 +1,284 @@
+//! Dataset assembly: merge all sources, recover from mirrors, crawl the
+//! report corpus — the output the MALGRAPH builder consumes.
+
+use crate::extract;
+use crate::recover::MirrorSearch;
+use crate::registry::{RegistryMeta, RegistryView};
+use crate::sources::{self, Archive, RawMention};
+use oss_types::{PackageId, Sha256, SimTime, SourceId};
+use registry_sim::{ReportCategory, World};
+use std::collections::HashMap;
+
+/// One distinct package in the merged corpus.
+#[derive(Debug, Clone)]
+pub struct CollectedPackage {
+    /// Registry identity.
+    pub id: PackageId,
+    /// Every source that mentioned it, with disclosure time.
+    pub mentions: Vec<(SourceId, SimTime)>,
+    /// The artifact, when any source shipped it or a mirror held it.
+    pub archive: Option<Archive>,
+    /// Artifact signature (computed from the archive, like the paper's
+    /// `hashlib` step); `None` while the package is unavailable.
+    pub signature: Option<Sha256>,
+    /// Whether the archive came from a mirror rather than a source dump.
+    pub recovered_from_mirror: bool,
+    /// Whether *some* mirror held the artifact at collection time,
+    /// regardless of whether a dump already shipped it. Used by the
+    /// single-source missing-rate analysis (Table VI).
+    pub mirror_recoverable: bool,
+    /// Public registry metadata (release date, removal date, downloads),
+    /// from the registry's public API.
+    pub meta: Option<RegistryMeta>,
+}
+
+impl CollectedPackage {
+    /// Whether the artifact is available.
+    pub fn is_available(&self) -> bool {
+        self.archive.is_some()
+    }
+}
+
+/// One security report crawled from the report-corpus websites.
+#[derive(Debug, Clone)]
+pub struct CollectedReport {
+    /// Publishing website name.
+    pub website: String,
+    /// Website category (Table III).
+    pub category: ReportCategory,
+    /// Publication date parsed from the page.
+    pub published: Option<SimTime>,
+    /// Page title.
+    pub title: String,
+    /// Packages the report names.
+    pub packages: Vec<PackageId>,
+    /// Actor handle if disclosed.
+    pub actor: Option<String>,
+}
+
+/// The fully assembled corpus.
+#[derive(Debug, Clone)]
+pub struct CollectedDataset {
+    /// Distinct packages, in first-mention order.
+    pub packages: Vec<CollectedPackage>,
+    /// Crawled security reports.
+    pub reports: Vec<CollectedReport>,
+    /// Number of report-corpus websites crawled.
+    pub website_count: usize,
+    /// When collection ran.
+    pub collect_time: SimTime,
+}
+
+impl CollectedDataset {
+    /// Looks up a collected package by identity.
+    pub fn get(&self, id: &PackageId) -> Option<&CollectedPackage> {
+        self.packages.iter().find(|p| &p.id == id)
+    }
+
+    /// `(available, unavailable)` mention counts per source — the rows of
+    /// the paper's Table I.
+    pub fn table1_counts(&self) -> HashMap<SourceId, (usize, usize)> {
+        let mut out: HashMap<SourceId, (usize, usize)> = HashMap::new();
+        for pkg in &self.packages {
+            for &(source, _) in &pkg.mentions {
+                let entry = out.entry(source).or_default();
+                // A mention is available when the *source itself* ships
+                // archives (dumps) or the package was recovered.
+                let dump = matches!(
+                    source.publication_style(),
+                    oss_types::source::PublicationStyle::DatasetDump
+                );
+                if dump || pkg.is_available() {
+                    entry.0 += 1;
+                } else {
+                    entry.1 += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Runs the full collection pipeline against a world:
+///
+/// 1. render + parse every source's feed ([`sources`]);
+/// 2. merge mentions into distinct packages;
+/// 3. search mirrors for everything still unavailable ([`MirrorSearch`]);
+/// 4. crawl the report-corpus websites ([`extract`]).
+pub fn collect(world: &World) -> CollectedDataset {
+    // 1. Feeds.
+    let mut raw: Vec<RawMention> = Vec::new();
+    for source in SourceId::ALL {
+        let docs = sources::render_feed(world, source);
+        raw.extend(sources::parse_feed(source, &docs));
+    }
+
+    // 2. Merge by identity.
+    let mut order: Vec<PackageId> = Vec::new();
+    let mut merged: HashMap<PackageId, CollectedPackage> = HashMap::new();
+    for mention in raw {
+        let entry = merged.entry(mention.id.clone()).or_insert_with(|| {
+            order.push(mention.id.clone());
+            CollectedPackage {
+                id: mention.id.clone(),
+                mentions: Vec::new(),
+                archive: None,
+                signature: None,
+                recovered_from_mirror: false,
+                mirror_recoverable: false,
+                meta: None,
+            }
+        });
+        entry.mentions.push((mention.source, mention.disclosed));
+        if entry.archive.is_none() {
+            entry.archive = mention.archive;
+        }
+    }
+
+    // 3. Mirror recovery for the rest, plus public registry metadata.
+    let search = MirrorSearch::new(world);
+    for pkg in merged.values_mut() {
+        pkg.meta = world.metadata(&pkg.id);
+        let mirror_hit = search.lookup(&pkg.id);
+        pkg.mirror_recoverable = mirror_hit.is_some();
+        if pkg.archive.is_none() {
+            if let Some(archive) = mirror_hit {
+                pkg.archive = Some(archive);
+                pkg.recovered_from_mirror = true;
+            }
+        }
+        if let Some(archive) = &pkg.archive {
+            pkg.signature = Some(registry_sim::campaign::artifact_signature(
+                &pkg.id,
+                &archive.description,
+                &archive.dependencies,
+                &archive.code,
+            ));
+        }
+    }
+
+    // 4. Report corpus.
+    let mut reports = Vec::new();
+    for report in &world.reports {
+        let website = &world.websites[report.website];
+        let html = registry_sim::report::render_html(report, website, |idx| {
+            let p = world.package(idx);
+            (p.id.clone(), p.signature.short())
+        });
+        if let Some(parsed) = extract::parse_report_page(&html) {
+            reports.push(CollectedReport {
+                website: website.name.clone(),
+                category: website.category,
+                published: parsed.published,
+                title: parsed.title,
+                packages: parsed.packages,
+                actor: parsed.actor,
+            });
+        }
+    }
+
+    let packages = order
+        .into_iter()
+        .map(|id| merged.remove(&id).expect("merged entry exists"))
+        .collect();
+    CollectedDataset {
+        packages,
+        reports,
+        website_count: world.websites.len(),
+        collect_time: world.config.collect_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use registry_sim::WorldConfig;
+
+    fn dataset() -> (World, CollectedDataset) {
+        let world = World::generate(WorldConfig::small(11));
+        let ds = collect(&world);
+        (world, ds)
+    }
+
+    #[test]
+    fn distinct_packages_match_world_mention_targets() {
+        let (world, ds) = dataset();
+        let distinct_truth: std::collections::HashSet<_> =
+            world.mentions.iter().map(|m| m.package).collect();
+        assert_eq!(ds.packages.len(), distinct_truth.len());
+    }
+
+    #[test]
+    fn mention_counts_match_world() {
+        let (world, ds) = dataset();
+        let collected: usize = ds.packages.iter().map(|p| p.mentions.len()).sum();
+        assert_eq!(collected, world.mentions.len());
+    }
+
+    #[test]
+    fn dump_sources_are_always_available() {
+        let (_, ds) = dataset();
+        let t1 = ds.table1_counts();
+        for dump in [SourceId::Maloss, SourceId::MalPyPI, SourceId::DataDog] {
+            if let Some(&(_, unavailable)) = t1.get(&dump) {
+                assert_eq!(unavailable, 0, "{dump} must have 0 unavailable");
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_flag_only_on_mirror_recoveries() {
+        let (world, ds) = dataset();
+        for pkg in &ds.packages {
+            if pkg.recovered_from_mirror {
+                assert!(pkg.is_available());
+                let truth = world
+                    .packages
+                    .iter()
+                    .find(|p| p.id == pkg.id)
+                    .expect("exists");
+                assert!(truth.mirror_available);
+            }
+        }
+        assert!(
+            ds.packages.iter().any(|p| p.recovered_from_mirror),
+            "some packages should come from mirrors"
+        );
+    }
+
+    #[test]
+    fn signatures_match_ground_truth_for_available_packages() {
+        let (world, ds) = dataset();
+        for pkg in ds.packages.iter().filter(|p| p.is_available()).take(20) {
+            let truth = world
+                .packages
+                .iter()
+                .find(|p| p.id == pkg.id)
+                .expect("exists");
+            assert_eq!(pkg.signature, Some(truth.signature), "hash mismatch for {}", pkg.id);
+        }
+    }
+
+    #[test]
+    fn unavailable_packages_have_no_signature() {
+        let (_, ds) = dataset();
+        for pkg in &ds.packages {
+            assert_eq!(pkg.is_available(), pkg.signature.is_some());
+        }
+    }
+
+    #[test]
+    fn report_crawl_preserves_report_count_and_categories() {
+        let (world, ds) = dataset();
+        assert_eq!(ds.reports.len(), world.reports.len());
+        assert!(ds.reports.iter().any(|r| r.packages.len() >= 2));
+        assert!(ds.website_count >= 6, "one website per category at least");
+    }
+
+    #[test]
+    fn some_packages_remain_unavailable() {
+        let (_, ds) = dataset();
+        let unavailable = ds.packages.iter().filter(|p| !p.is_available()).count();
+        assert!(unavailable > 0, "the missing-rate analysis needs misses");
+    }
+}

@@ -1,0 +1,296 @@
+//! Corpus export/import — the paper's dataset-transparency commitment.
+//!
+//! §II-D: "We build a website to publish all malicious package names
+//! (sources) with their signatures (e.g., MD5 hashes) … so the researcher
+//! can identify which package to use in the dataset." This module
+//! serializes a [`CollectedDataset`] in two fidelities:
+//!
+//! * [`ExportFidelity::ManifestOnly`] — names, versions, sources,
+//!   disclosure dates and signatures, exactly what the paper's website
+//!   publishes (archives are withheld);
+//! * [`ExportFidelity::Full`] — additionally the recovered archives, the
+//!   form a cooperating lab would exchange.
+
+use crate::dataset::{CollectedDataset, CollectedPackage, CollectedReport};
+use crate::registry::RegistryMeta;
+use crate::sources::Archive;
+use oss_types::{PackageId, Sha256, SimTime, SourceId};
+use registry_sim::ReportCategory;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How much of the corpus to export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExportFidelity {
+    /// Names, sources and signatures only (the public website form).
+    ManifestOnly,
+    /// Everything, including archives.
+    Full,
+}
+
+/// An import/export failure.
+#[derive(Debug)]
+pub struct ExportError {
+    message: String,
+}
+
+impl fmt::Display for ExportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "corpus export error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ExportError {}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Manifest {
+    format_version: u32,
+    collect_time: SimTime,
+    website_count: usize,
+    packages: Vec<PackageEntry>,
+    reports: Vec<ReportEntry>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct PackageEntry {
+    id: String,
+    mentions: Vec<(SourceId, SimTime)>,
+    sha256: Option<String>,
+    recovered_from_mirror: bool,
+    mirror_recoverable: bool,
+    meta: Option<MetaEntry>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    archive: Option<Archive>,
+}
+
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct MetaEntry {
+    released: SimTime,
+    removed: Option<SimTime>,
+    downloads: u64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ReportEntry {
+    website: String,
+    category: ReportCategory,
+    published: Option<SimTime>,
+    title: String,
+    packages: Vec<String>,
+    actor: Option<String>,
+}
+
+/// Serializes the corpus as pretty-printed JSON.
+///
+/// # Errors
+///
+/// Returns [`ExportError`] if serialization fails (it cannot for
+/// well-formed corpora; the error path exists for API honesty).
+pub fn export_json(
+    dataset: &CollectedDataset,
+    fidelity: ExportFidelity,
+) -> Result<String, ExportError> {
+    let manifest = Manifest {
+        format_version: 1,
+        collect_time: dataset.collect_time,
+        website_count: dataset.website_count,
+        packages: dataset
+            .packages
+            .iter()
+            .map(|p| PackageEntry {
+                id: p.id.to_string(),
+                mentions: p.mentions.clone(),
+                sha256: p.signature.map(|s| s.to_string()),
+                recovered_from_mirror: p.recovered_from_mirror,
+                mirror_recoverable: p.mirror_recoverable,
+                meta: p.meta.map(|m| MetaEntry {
+                    released: m.released,
+                    removed: m.removed,
+                    downloads: m.downloads,
+                }),
+                archive: match fidelity {
+                    ExportFidelity::Full => p.archive.clone(),
+                    ExportFidelity::ManifestOnly => None,
+                },
+            })
+            .collect(),
+        reports: dataset
+            .reports
+            .iter()
+            .map(|r| ReportEntry {
+                website: r.website.clone(),
+                category: r.category,
+                published: r.published,
+                title: r.title.clone(),
+                packages: r.packages.iter().map(|p| p.to_string()).collect(),
+                actor: r.actor.clone(),
+            })
+            .collect(),
+    };
+    serde_json::to_string_pretty(&manifest).map_err(|e| ExportError {
+        message: e.to_string(),
+    })
+}
+
+/// Deserializes a corpus previously written by [`export_json`].
+///
+/// Signatures are re-verified against archives when both are present;
+/// a mismatch is an error (a corrupted or tampered exchange).
+///
+/// # Errors
+///
+/// Returns [`ExportError`] on malformed JSON, unknown format versions,
+/// unparseable identities or signature mismatches.
+pub fn import_json(json: &str) -> Result<CollectedDataset, ExportError> {
+    let manifest: Manifest = serde_json::from_str(json).map_err(|e| ExportError {
+        message: format!("malformed manifest: {e}"),
+    })?;
+    if manifest.format_version != 1 {
+        return Err(ExportError {
+            message: format!("unsupported format version {}", manifest.format_version),
+        });
+    }
+    let mut packages = Vec::with_capacity(manifest.packages.len());
+    for entry in manifest.packages {
+        let id: PackageId = entry.id.parse().map_err(|e| ExportError {
+            message: format!("bad package id {:?}: {e}", entry.id),
+        })?;
+        let signature = entry
+            .sha256
+            .as_deref()
+            .map(parse_sha256)
+            .transpose()?;
+        if let (Some(signature), Some(archive)) = (signature, &entry.archive) {
+            let recomputed = registry_sim::campaign::artifact_signature(
+                &id,
+                &archive.description,
+                &archive.dependencies,
+                &archive.code,
+            );
+            if recomputed != signature {
+                return Err(ExportError {
+                    message: format!("signature mismatch for {id}"),
+                });
+            }
+        }
+        packages.push(CollectedPackage {
+            id,
+            mentions: entry.mentions,
+            archive: entry.archive,
+            signature,
+            recovered_from_mirror: entry.recovered_from_mirror,
+            mirror_recoverable: entry.mirror_recoverable,
+            meta: entry.meta.map(|m| RegistryMeta {
+                released: m.released,
+                removed: m.removed,
+                downloads: m.downloads,
+            }),
+        });
+    }
+    let mut reports = Vec::with_capacity(manifest.reports.len());
+    for entry in manifest.reports {
+        let mut ids = Vec::with_capacity(entry.packages.len());
+        for raw in entry.packages {
+            ids.push(raw.parse().map_err(|e| ExportError {
+                message: format!("bad report package id {raw:?}: {e}"),
+            })?);
+        }
+        reports.push(CollectedReport {
+            website: entry.website,
+            category: entry.category,
+            published: entry.published,
+            title: entry.title,
+            packages: ids,
+            actor: entry.actor,
+        });
+    }
+    Ok(CollectedDataset {
+        packages,
+        reports,
+        website_count: manifest.website_count,
+        collect_time: manifest.collect_time,
+    })
+}
+
+fn parse_sha256(hex: &str) -> Result<Sha256, ExportError> {
+    if hex.len() != 64 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(ExportError {
+            message: format!("bad sha256 {hex:?}"),
+        });
+    }
+    let mut bytes = [0u8; 32];
+    for (i, byte) in bytes.iter_mut().enumerate() {
+        *byte = u8::from_str_radix(&hex[i * 2..i * 2 + 2], 16).map_err(|_| ExportError {
+            message: format!("bad sha256 {hex:?}"),
+        })?;
+    }
+    Ok(Sha256::from_bytes(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect;
+    use registry_sim::{World, WorldConfig};
+
+    fn corpus() -> CollectedDataset {
+        collect(&World::generate(WorldConfig::small(101)))
+    }
+
+    #[test]
+    fn full_export_round_trips() {
+        let original = corpus();
+        let json = export_json(&original, ExportFidelity::Full).unwrap();
+        let imported = import_json(&json).unwrap();
+        assert_eq!(imported.packages.len(), original.packages.len());
+        assert_eq!(imported.reports.len(), original.reports.len());
+        assert_eq!(imported.collect_time, original.collect_time);
+        for (a, b) in original.packages.iter().zip(&imported.packages) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.signature, b.signature);
+            assert_eq!(a.mentions, b.mentions);
+            assert_eq!(a.archive, b.archive);
+        }
+    }
+
+    #[test]
+    fn manifest_export_withholds_archives_but_keeps_signatures() {
+        let original = corpus();
+        let json = export_json(&original, ExportFidelity::ManifestOnly).unwrap();
+        let imported = import_json(&json).unwrap();
+        assert!(imported.packages.iter().all(|p| p.archive.is_none()));
+        let with_sig = imported.packages.iter().filter(|p| p.signature.is_some()).count();
+        let orig_sig = original.packages.iter().filter(|p| p.signature.is_some()).count();
+        assert_eq!(with_sig, orig_sig, "signatures are the published part");
+    }
+
+    #[test]
+    fn tampered_archives_are_rejected() {
+        let original = corpus();
+        let json = export_json(&original, ExportFidelity::Full).unwrap();
+        // Corrupt the first inline code field.
+        let tampered = json.replacen("\"code\": \"", "\"code\": \"#tampered\\n", 1);
+        assert_ne!(json, tampered, "test must actually tamper");
+        let err = import_json(&tampered).unwrap_err();
+        assert!(err.to_string().contains("signature mismatch"), "{err}");
+    }
+
+    #[test]
+    fn garbage_and_wrong_versions_are_rejected() {
+        assert!(import_json("{").is_err());
+        assert!(import_json("{\"format_version\": 99}").is_err());
+        let bad_id = r#"{"format_version":1,"collect_time":0,"website_count":0,
+            "packages":[{"id":"not-an-id","mentions":[],"sha256":null,
+            "recovered_from_mirror":false,"mirror_recoverable":false,"meta":null}],
+            "reports":[]}"#;
+        assert!(import_json(bad_id).is_err());
+    }
+
+    #[test]
+    fn sha256_parsing() {
+        let d = Sha256::digest(b"x");
+        assert_eq!(parse_sha256(&d.to_string()).unwrap(), d);
+        assert!(parse_sha256("abcd").is_err());
+        assert!(parse_sha256(&"g".repeat(64)).is_err());
+    }
+}

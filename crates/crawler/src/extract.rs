@@ -1,0 +1,164 @@
+//! Mention extraction from crawled pages.
+//!
+//! The paper's pipeline filters crawled pages by keyword ("malicious",
+//! "malware"), then pulls package names and versions out of the report
+//! content (§II-B). Here the same happens over the simulator's rendered
+//! pages: keyword filter → `<code>` spans → `ecosystem/name@version`.
+
+use crate::html;
+use oss_types::PackageId;
+
+/// Keywords a page must contain to be treated as a security report.
+pub const KEYWORDS: [&str; 4] = ["malicious", "malware", "supply chain", "backdoor"];
+
+/// Whether a crawled page passes the keyword filter.
+pub fn keyword_filter(html_page: &str) -> bool {
+    let text = html::visible_text(html_page).to_ascii_lowercase();
+    let title = html::tag_texts(html_page, "title")
+        .join(" ")
+        .to_ascii_lowercase();
+    KEYWORDS
+        .iter()
+        .any(|k| text.contains(k) || title.contains(k))
+}
+
+/// A report parsed from a crawled page.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedReport {
+    /// Page title.
+    pub title: String,
+    /// Publication date string from the byline, if present (`YYYY-MM-DD`).
+    pub published: Option<oss_types::SimTime>,
+    /// Package identities named by the page.
+    pub packages: Vec<PackageId>,
+    /// Actor handle if the page names one in a `<b>` span.
+    pub actor: Option<String>,
+}
+
+/// Parses one report page. Returns `None` when the page fails the
+/// keyword filter or names no packages (an irrelevant page).
+pub fn parse_report_page(page: &str) -> Option<ParsedReport> {
+    if !keyword_filter(page) {
+        return None;
+    }
+    let packages = extract_package_ids(page);
+    if packages.is_empty() {
+        return None;
+    }
+    let title = html::tag_texts(page, "title")
+        .into_iter()
+        .next()
+        .unwrap_or_default();
+    let actor = html::tag_texts(page, "b").into_iter().next();
+    let published = html::tag_texts(page, "p")
+        .iter()
+        .find_map(|p| extract_date(p));
+    Some(ParsedReport {
+        title,
+        published,
+        packages,
+        actor,
+    })
+}
+
+/// Extracts every parseable `ecosystem/name@version` identity from the
+/// page's `<code>` spans, preserving order and dropping duplicates.
+pub fn extract_package_ids(page: &str) -> Vec<PackageId> {
+    let mut out: Vec<PackageId> = Vec::new();
+    for span in html::tag_texts(page, "code") {
+        if let Ok(id) = span.trim().parse::<PackageId>() {
+            if !out.contains(&id) {
+                out.push(id);
+            }
+        }
+    }
+    out
+}
+
+fn extract_date(text: &str) -> Option<oss_types::SimTime> {
+    // Scan for a YYYY-MM-DD substring (bylines may contain multi-byte
+    // punctuation, so respect char boundaries).
+    let bytes = text.as_bytes();
+    for start in 0..bytes.len().saturating_sub(9) {
+        if !text.is_char_boundary(start) || !text.is_char_boundary(start + 10) {
+            continue;
+        }
+        let candidate = &text[start..start + 10];
+        if candidate.as_bytes()[4] == b'-' && candidate.as_bytes()[7] == b'-' {
+            if let Ok(t) = candidate.parse() {
+                return Some(t);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAGE: &str = r#"<html><head><title>Malicious packages flood npm</title></head>
+<body><p class="byline">vendor — 2023-08-12 00:00</p>
+<p>The actor <b>actor-0007</b> published these.</p>
+<ul>
+<li><code>npm/etc-crypto@1.0.0</code> <span class="ioc">sha256:abcd</span></li>
+<li><code>npm/cloud-layout@1.0.0</code></li>
+<li><code>not a package id</code></li>
+</ul></body></html>"#;
+
+    #[test]
+    fn full_page_parses() {
+        let report = parse_report_page(PAGE).expect("valid report");
+        assert_eq!(report.title, "Malicious packages flood npm");
+        assert_eq!(report.packages.len(), 2);
+        assert_eq!(report.packages[0].to_string(), "npm/etc-crypto@1.0.0");
+        assert_eq!(report.actor.as_deref(), Some("actor-0007"));
+        assert_eq!(
+            report.published,
+            Some(oss_types::SimTime::from_ymd(2023, 8, 12))
+        );
+    }
+
+    #[test]
+    fn keyword_filter_drops_irrelevant_pages() {
+        let benign = "<html><title>Release notes v2.1</title><body>\
+                      <code>npm/lodash@4.0.0</code> improvements</body></html>";
+        assert!(!keyword_filter(benign));
+        assert_eq!(parse_report_page(benign), None);
+    }
+
+    #[test]
+    fn keyword_in_body_is_enough() {
+        let page = "<html><title>weekly digest</title><body>\
+                    we found malware in <code>pypi/evil@1.0.0</code></body></html>";
+        assert!(keyword_filter(page));
+        let report = parse_report_page(page).unwrap();
+        assert_eq!(report.packages.len(), 1);
+    }
+
+    #[test]
+    fn report_without_packages_is_dropped() {
+        let page = "<html><title>malware trends 2023</title>\
+                    <body>no specific packages here</body></html>";
+        assert_eq!(parse_report_page(page), None);
+    }
+
+    #[test]
+    fn malformed_ids_are_skipped_duplicates_deduped() {
+        let page = "<html><title>malicious roundup</title><body>\
+                    <code>npm/a@1.0.0</code><code>npm/a@1.0.0</code>\
+                    <code>@broken</code><code>npm/UPPER@1.0.0</code></body></html>";
+        let ids = extract_package_ids(page);
+        assert_eq!(ids.len(), 1);
+    }
+
+    #[test]
+    fn date_extraction_handles_prefixes() {
+        assert_eq!(
+            extract_date("vendor corp — 2022-11-03 08:15"),
+            Some(oss_types::SimTime::from_ymd(2022, 11, 3))
+        );
+        assert_eq!(extract_date("no date here"), None);
+        assert_eq!(extract_date("bad 2022-13-99 date"), None);
+    }
+}

@@ -1,0 +1,44 @@
+//! The collection pipeline: from scattered online sources to one corpus.
+//!
+//! Implements the paper's data-collection methodology (§II) against the
+//! simulated world:
+//!
+//! * [`html`] — a forgiving HTML parser (the BeautifulSoup role);
+//! * [`extract`] — keyword filtering and `name@version` extraction from
+//!   report pages;
+//! * [`sources`] — adapters for the three publication styles (dataset
+//!   dumps, advisory pages, SNS feeds), rendering and re-parsing each;
+//! * [`recover`] — mirror-registry search for removed packages;
+//! * [`dataset`] — the merged [`dataset::CollectedDataset`], the sole
+//!   input of the MALGRAPH builder;
+//! * [`export`] — corpus serialization (the paper's dataset-transparency
+//!   website: names + signatures public, archives on request).
+//!
+//! # Examples
+//!
+//! ```
+//! use crawler::collect;
+//! use registry_sim::{World, WorldConfig};
+//!
+//! let world = World::generate(WorldConfig::small(1));
+//! let corpus = collect(&world);
+//! assert!(!corpus.packages.is_empty());
+//! let available = corpus.packages.iter().filter(|p| p.is_available()).count();
+//! assert!(available > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod export;
+pub mod extract;
+pub mod html;
+pub mod recover;
+pub mod registry;
+pub mod sources;
+
+pub use dataset::{collect, CollectedDataset, CollectedPackage, CollectedReport};
+pub use export::{export_json, import_json, ExportFidelity};
+pub use registry::{RegistryMeta, RegistryView};
+pub use sources::{Archive, RawMention};

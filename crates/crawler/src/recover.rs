@@ -1,0 +1,112 @@
+//! Mirror recovery: the second chance for removed packages.
+//!
+//! When a source only names a package, the collector searches the
+//! ecosystem's mirror registries by `name@version` (paper §II-C). A
+//! mirror serves the artifact iff it captured the package during its
+//! persistence window and has not yet reconciled the deletion.
+
+use crate::sources::Archive;
+use oss_types::PackageId;
+use registry_sim::World;
+use std::collections::HashMap;
+
+/// A by-identity index over the world's packages, built once per
+/// collection run so mirror lookups are O(1).
+#[derive(Debug)]
+pub struct MirrorSearch<'w> {
+    world: &'w World,
+    by_id: HashMap<&'w PackageId, registry_sim::PkgIdx>,
+}
+
+impl<'w> MirrorSearch<'w> {
+    /// Builds the search index.
+    pub fn new(world: &'w World) -> Self {
+        let mut by_id = HashMap::new();
+        for (i, p) in world.packages.iter().enumerate() {
+            by_id.insert(&p.id, registry_sim::PkgIdx(i as u32));
+        }
+        MirrorSearch { world, by_id }
+    }
+
+    /// Searches every mirror of the package's ecosystem at collection
+    /// time; returns the archive if some mirror still serves it.
+    pub fn lookup(&self, id: &PackageId) -> Option<Archive> {
+        let idx = self.by_id.get(id)?;
+        let pkg = self.world.package(*idx);
+        let held = self.world.mirrors.any_holds(
+            pkg.id.ecosystem(),
+            pkg.released,
+            pkg.removed,
+            self.world.config.collect_time,
+        );
+        if held {
+            Some(Archive {
+                description: pkg.description.clone(),
+                dependencies: pkg.dependencies.clone(),
+                code: pkg.source_text.clone(),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Whether the identity exists in the world at all (a mention that
+    /// resolves to nothing is a typo in a report).
+    pub fn exists(&self, id: &PackageId) -> bool {
+        self.by_id.contains_key(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use registry_sim::WorldConfig;
+
+    #[test]
+    fn recovery_matches_world_availability() {
+        let world = World::generate(WorldConfig::small(5));
+        let search = MirrorSearch::new(&world);
+        let mut recovered = 0usize;
+        let mut missed = 0usize;
+        for pkg in &world.packages {
+            let hit = search.lookup(&pkg.id);
+            assert_eq!(
+                hit.is_some(),
+                pkg.mirror_available,
+                "mirror search disagrees with availability for {}",
+                pkg.id
+            );
+            if hit.is_some() {
+                recovered += 1;
+            } else {
+                missed += 1;
+            }
+        }
+        assert!(recovered > 0);
+        assert!(missed > 0);
+    }
+
+    #[test]
+    fn recovered_archive_matches_ground_truth() {
+        let world = World::generate(WorldConfig::small(6));
+        let search = MirrorSearch::new(&world);
+        let pkg = world
+            .packages
+            .iter()
+            .find(|p| p.mirror_available)
+            .expect("some package is recoverable");
+        let archive = search.lookup(&pkg.id).expect("available");
+        assert_eq!(archive.code, pkg.source_text);
+        assert_eq!(archive.description, pkg.description);
+        assert_eq!(archive.dependencies, pkg.dependencies);
+    }
+
+    #[test]
+    fn unknown_identity_returns_none() {
+        let world = World::generate(WorldConfig::small(7));
+        let search = MirrorSearch::new(&world);
+        let ghost: PackageId = "npm/never-existed@9.9.9".parse().unwrap();
+        assert!(!search.exists(&ghost));
+        assert_eq!(search.lookup(&ghost), None);
+    }
+}

@@ -1,0 +1,133 @@
+//! Public registry metadata queries.
+//!
+//! Beyond the malicious-package feeds, the paper's analyses consult
+//! *public* registry information: release dates, download counters
+//! (pepy/npm-stat style) and per-name version histories — e.g. the
+//! download-evolution study (Fig. 11) and the IDN ranking (Table VIII)
+//! need the download numbers of every version of a trojaned package,
+//! including the benign ones still live in the registry. [`RegistryView`]
+//! models that query surface; the simulator's `World` implements it.
+
+use crate::sources::Archive;
+use oss_types::{Ecosystem, PackageId, PackageName, SimTime};
+use registry_sim::World;
+
+/// Public metadata of one package release.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegistryMeta {
+    /// Publication instant.
+    pub released: SimTime,
+    /// Removal instant, if the registry took it down.
+    pub removed: Option<SimTime>,
+    /// Cumulative download count.
+    pub downloads: u64,
+}
+
+/// Read-only access to public registry data.
+///
+/// Implementations must only expose information a real registry API
+/// would: metadata, download counters, version listings, and archives of
+/// packages that are still live. They must *not* leak simulator ground
+/// truth (campaign membership, actors, behaviours).
+pub trait RegistryView {
+    /// Metadata for a release, if the identity ever existed.
+    fn metadata(&self, id: &PackageId) -> Option<RegistryMeta>;
+
+    /// Every release of `name` in `eco` (live or removed), version order.
+    fn version_history(&self, eco: Ecosystem, name: &PackageName)
+        -> Vec<(PackageId, RegistryMeta)>;
+
+    /// The archive of a release that is still live in the root registry.
+    fn live_archive(&self, id: &PackageId) -> Option<Archive>;
+}
+
+impl RegistryView for World {
+    fn metadata(&self, id: &PackageId) -> Option<RegistryMeta> {
+        self.packages.iter().find(|p| &p.id == id).map(|p| RegistryMeta {
+            released: p.released,
+            removed: p.removed,
+            downloads: p.downloads,
+        })
+    }
+
+    fn version_history(
+        &self,
+        eco: Ecosystem,
+        name: &PackageName,
+    ) -> Vec<(PackageId, RegistryMeta)> {
+        World::version_history(self, eco, name)
+            .into_iter()
+            .map(|idx| {
+                let p = self.package(idx);
+                (
+                    p.id.clone(),
+                    RegistryMeta {
+                        released: p.released,
+                        removed: p.removed,
+                        downloads: p.downloads,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn live_archive(&self, id: &PackageId) -> Option<Archive> {
+        self.packages
+            .iter()
+            .find(|p| &p.id == id && p.removed.is_none())
+            .map(|p| Archive {
+                description: p.description.clone(),
+                dependencies: p.dependencies.clone(),
+                code: p.source_text.clone(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use registry_sim::WorldConfig;
+
+    #[test]
+    fn metadata_matches_world() {
+        let world = World::generate(WorldConfig::small(21));
+        let pkg = &world.packages[0];
+        let meta = world.metadata(&pkg.id).expect("exists");
+        assert_eq!(meta.released, pkg.released);
+        assert_eq!(meta.downloads, pkg.downloads);
+        assert_eq!(world.metadata(&"npm/ghost@0.0.1".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn live_archive_only_for_unremoved_packages() {
+        let world = World::generate(WorldConfig::small(22));
+        let live = world
+            .packages
+            .iter()
+            .find(|p| p.removed.is_none())
+            .expect("trojan benign versions are live");
+        assert!(world.live_archive(&live.id).is_some());
+        let removed = world
+            .packages
+            .iter()
+            .find(|p| p.removed.is_some())
+            .expect("removed packages exist");
+        assert_eq!(world.live_archive(&removed.id), None);
+    }
+
+    #[test]
+    fn version_history_is_ordered_and_complete() {
+        let world = World::generate(WorldConfig::small(23));
+        let trojan = world
+            .campaigns
+            .iter()
+            .find(|c| c.kind == registry_sim::CampaignKind::Trojan)
+            .expect("trojans exist");
+        let name = world.package(trojan.packages[0]).id.name().clone();
+        let history = RegistryView::version_history(&world, trojan.ecosystem, &name);
+        assert!(history.len() >= 3);
+        for pair in history.windows(2) {
+            assert!(pair[0].0.version() < pair[1].0.version());
+        }
+    }
+}

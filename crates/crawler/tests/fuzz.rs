@@ -1,0 +1,66 @@
+//! Fuzz-style property tests: every parser in the collection pipeline
+//! must survive arbitrary byte soup — crawlers eat the worst the web
+//! serves.
+
+use crawler::sources::{parse_feed, FeedFormat};
+use crawler::{extract, html};
+use oss_types::SourceId;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn html_parser_never_panics(input in ".*") {
+        let _ = html::parse_events(&input);
+        let _ = html::visible_text(&input);
+        let _ = html::tag_texts(&input, "code");
+    }
+
+    #[test]
+    fn html_parser_never_panics_on_taggy_soup(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("<".to_string()),
+                Just(">".to_string()),
+                Just("</".to_string()),
+                Just("<code>".to_string()),
+                Just("</code>".to_string()),
+                Just("<!".to_string()),
+                "[a-z@/.]{0,8}".prop_map(|s| s),
+            ],
+            0..40,
+        )
+    ) {
+        let input: String = parts.concat();
+        let events = html::parse_events(&input);
+        // Text events never contain unreconstructed tag markup.
+        for event in &events {
+            if let html::Event::Text(t) = event {
+                prop_assert!(!t.contains("</code>"));
+            }
+        }
+        let _ = extract::parse_report_page(&input);
+    }
+
+    #[test]
+    fn extractor_never_panics_and_ids_are_valid(input in ".*") {
+        for id in extract::extract_package_ids(&input) {
+            // Whatever came out must round-trip as a real identity.
+            let reparsed: Result<oss_types::PackageId, _> = id.to_string().parse();
+            prop_assert!(reparsed.is_ok());
+        }
+    }
+
+    #[test]
+    fn feed_parsers_never_panic(input in ".*", which in 0usize..3) {
+        let format = [FeedFormat::JsonDump, FeedFormat::HtmlPage, FeedFormat::SnsText][which];
+        let docs = vec![(format, input)];
+        let _ = parse_feed(SourceId::Phylum, &docs);
+    }
+
+    #[test]
+    fn import_json_never_panics(input in ".*") {
+        let _ = crawler::import_json(&input);
+    }
+}

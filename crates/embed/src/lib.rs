@@ -1,0 +1,208 @@
+//! Deterministic code embeddings over PyLite ASTs.
+//!
+//! The paper's similarity pipeline (§III-A) converts each package's source
+//! code into an AST, embeds the AST with OpenAI's `text-embedding-3-large`
+//! (3072 dimensions), and clusters the vectors with K-Means. An external
+//! embedding API is a data/hardware gate for a reproduction, so this crate
+//! substitutes a *feature-hashing* embedder with the one property the
+//! pipeline needs: **similar code maps to nearby vectors**, robust to the
+//! identifier renames and small edits attackers apply between release
+//! attempts.
+//!
+//! Features are extracted from the *canonicalized* AST (see
+//! [`minilang::canon`]): token n-grams of the canonical text, root-to-node
+//! AST *kind paths*, and the imported module set (weighted highest — which
+//! APIs the code touches is the strongest behavioural signal). Each
+//! feature is hashed into one of `dim` buckets with a signed hash (the
+//! classic hashing trick), and the vector is L2-normalized so cosine
+//! similarity is a dot product.
+//!
+//! # Examples
+//!
+//! ```
+//! use embed::Embedder;
+//! use minilang::parse;
+//!
+//! let embedder = Embedder::new(512);
+//! let a = embedder.embed(&parse("import os\nk = os.getenv('A')\n")?);
+//! let b = embedder.embed(&parse("import os\nv = os.getenv('A')\n")?);
+//! assert!(a.cosine(&b) > 0.95, "renamed variable stays similar");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod features;
+pub mod vector;
+
+pub use features::extract_features;
+pub use vector::Embedding;
+
+use minilang::Module;
+
+/// The embedding dimensionality the paper reports for
+/// `text-embedding-3-large`.
+pub const PAPER_DIM: usize = 3072;
+
+/// A deterministic feature-hashing embedder.
+#[derive(Debug, Clone)]
+pub struct Embedder {
+    dim: usize,
+}
+
+impl Embedder {
+    /// Creates an embedder producing `dim`-dimensional vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        Embedder { dim }
+    }
+
+    /// An embedder with the paper's 3072 dimensions.
+    pub fn paper() -> Self {
+        Embedder::new(PAPER_DIM)
+    }
+
+    /// Output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Embeds a module.
+    ///
+    /// The module is canonicalized first, so alpha-renamed programs embed
+    /// identically.
+    pub fn embed(&self, module: &Module) -> Embedding {
+        let features = extract_features(module);
+        let mut values = vec![0.0f32; self.dim];
+        for feature in &features {
+            let h = fnv1a(feature.text.as_bytes());
+            let bucket = (h % self.dim as u64) as usize;
+            // Second, independent hash decides the sign, which keeps
+            // colliding features from always reinforcing each other.
+            let sign = if fnv1a_seeded(feature.text.as_bytes(), 0x9e3779b97f4a7c15) & 1 == 0 {
+                1.0
+            } else {
+                -1.0
+            };
+            values[bucket] += sign * feature.weight;
+        }
+        Embedding::from_raw(values).normalized()
+    }
+}
+
+impl Default for Embedder {
+    /// The paper's 3072-dimensional configuration.
+    fn default() -> Self {
+        Embedder::paper()
+    }
+}
+
+/// 64-bit FNV-1a hash.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_seeded(bytes, 0xcbf29ce484222325)
+}
+
+pub(crate) fn fnv1a_seeded(bytes: &[u8], seed: u64) -> u64 {
+    let mut hash = seed;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minilang::gen::{generate, mutate, Behavior, Mutation};
+    use minilang::parse;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn module(src: &str) -> Module {
+        parse(src).unwrap()
+    }
+
+    #[test]
+    fn embedding_is_deterministic() {
+        let e = Embedder::new(256);
+        let m = module("import os\nx = os.getenv('K')\n");
+        assert_eq!(e.embed(&m), e.embed(&m));
+    }
+
+    #[test]
+    fn self_cosine_is_one() {
+        let e = Embedder::new(256);
+        let v = e.embed(&module("x = 1\ny = x + 2\n"));
+        assert!((v.cosine(&v) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn renaming_is_invisible() {
+        let e = Embedder::new(512);
+        let a = e.embed(&module("secret = os.getenv('T')\nsend(secret)\n"));
+        let b = e.embed(&module("loot = os.getenv('T')\nsend(loot)\n"));
+        assert!((a.cosine(&b) - 1.0).abs() < 1e-5, "{}", a.cosine(&b));
+    }
+
+    #[test]
+    fn mutated_malware_stays_close_other_lineages_stay_far() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let e = Embedder::new(1024);
+        let base = generate(Behavior::ExfilAws, &mut rng);
+        let mutated = mutate(&base, Mutation::SwapStringLiteral, &mut rng);
+        let other_lineage = generate(Behavior::ExfilAws, &mut rng);
+        let vb = e.embed(&base);
+        let vm = e.embed(&mutated);
+        let vo = e.embed(&other_lineage);
+        let near = vb.cosine(&vm);
+        let far = vb.cosine(&vo);
+        assert!(near > 0.95, "mutation similarity {near}");
+        assert!(
+            near > far + 0.05,
+            "a mutated re-release ({near}) must stay closer than an \
+             independent lineage of the same behaviour ({far})"
+        );
+    }
+
+    #[test]
+    fn lineage_members_cluster_tighter_than_cross_behavior() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let e = Embedder::new(1024);
+        let base = generate(Behavior::ReverseShell, &mut rng);
+        let member = mutate(&base, Mutation::InsertBenignFunction, &mut rng);
+        let cross = generate(Behavior::InfoStealer, &mut rng);
+        let vb = e.embed(&base);
+        assert!(
+            vb.cosine(&e.embed(&member)) > vb.cosine(&e.embed(&cross)),
+            "lineage cohesion failed"
+        );
+    }
+
+    #[test]
+    fn paper_dim_is_3072() {
+        assert_eq!(Embedder::paper().dim(), 3072);
+        assert_eq!(Embedder::default().dim(), PAPER_DIM);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_panics() {
+        Embedder::new(0);
+    }
+
+    #[test]
+    fn empty_module_embeds_to_zero_vector() {
+        let e = Embedder::new(64);
+        let v = e.embed(&module(""));
+        assert_eq!(v.norm(), 0.0);
+        // Cosine with anything is defined as 0 for the zero vector.
+        let w = e.embed(&module("x = 1\n"));
+        assert_eq!(v.cosine(&w), 0.0);
+    }
+}

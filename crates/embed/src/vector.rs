@@ -1,0 +1,197 @@
+//! Dense embedding vectors.
+
+use std::fmt;
+
+/// A dense embedding vector.
+///
+/// Vectors produced by [`crate::Embedder`] are L2-normalized, so
+/// [`Embedding::cosine`] reduces to a dot product; the methods here also
+/// handle unnormalized and zero vectors gracefully because K-Means
+/// centroids are running means, not unit vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Embedding {
+    values: Vec<f32>,
+}
+
+impl Embedding {
+    /// Wraps raw values.
+    pub fn from_raw(values: Vec<f32>) -> Self {
+        Embedding { values }
+    }
+
+    /// A zero vector of dimension `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        Embedding {
+            values: vec![0.0; dim],
+        }
+    }
+
+    /// The components.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f32 {
+        self.values.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Returns an L2-normalized copy; the zero vector stays zero.
+    pub fn normalized(&self) -> Embedding {
+        let n = self.norm();
+        if n == 0.0 {
+            return self.clone();
+        }
+        Embedding {
+            values: self.values.iter().map(|v| v / n).collect(),
+        }
+    }
+
+    /// Dot product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn dot(&self, other: &Embedding) -> f32 {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Cosine similarity in `[-1, 1]`; zero if either vector is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn cosine(&self, other: &Embedding) -> f32 {
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            return 0.0;
+        }
+        (self.dot(other) / denom).clamp(-1.0, 1.0)
+    }
+
+    /// Squared Euclidean distance (the K-Means objective term).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn distance_sq(&self, other: &Embedding) -> f32 {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| {
+                let d = a - b;
+                d * d
+            })
+            .sum()
+    }
+
+    /// Adds `other` into `self` component-wise (centroid accumulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn add_assign(&mut self, other: &Embedding) {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        for (a, b) in self.values.iter_mut().zip(&other.values) {
+            *a += b;
+        }
+    }
+
+    /// Divides every component by `n` (centroid finalization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0.0`.
+    pub fn scale_down(&mut self, n: f32) {
+        assert!(n != 0.0, "cannot divide by zero");
+        for v in &mut self.values {
+            *v /= n;
+        }
+    }
+}
+
+impl fmt::Display for Embedding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Embedding(dim={}, norm={:.4})", self.dim(), self.norm())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec2(a: f32, b: f32) -> Embedding {
+        Embedding::from_raw(vec![a, b])
+    }
+
+    #[test]
+    fn norm_and_normalize() {
+        let v = vec2(3.0, 4.0);
+        assert!((v.norm() - 5.0).abs() < 1e-6);
+        let u = v.normalized();
+        assert!((u.norm() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_vector_normalizes_to_itself() {
+        let z = Embedding::zeros(4);
+        assert_eq!(z.normalized(), z);
+        assert_eq!(z.norm(), 0.0);
+    }
+
+    #[test]
+    fn cosine_bounds_and_orthogonality() {
+        let x = vec2(1.0, 0.0);
+        let y = vec2(0.0, 1.0);
+        let neg = vec2(-1.0, 0.0);
+        assert!((x.cosine(&x) - 1.0).abs() < 1e-6);
+        assert!(x.cosine(&y).abs() < 1e-6);
+        assert!((x.cosine(&neg) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_with_zero_is_zero() {
+        let x = vec2(1.0, 2.0);
+        let z = Embedding::zeros(2);
+        assert_eq!(x.cosine(&z), 0.0);
+    }
+
+    #[test]
+    fn distance_sq() {
+        let a = vec2(1.0, 2.0);
+        let b = vec2(4.0, 6.0);
+        assert!((a.distance_sq(&b) - 25.0).abs() < 1e-6);
+        assert_eq!(a.distance_sq(&a), 0.0);
+    }
+
+    #[test]
+    fn centroid_accumulation() {
+        let mut c = Embedding::zeros(2);
+        c.add_assign(&vec2(2.0, 4.0));
+        c.add_assign(&vec2(4.0, 8.0));
+        c.scale_down(2.0);
+        assert_eq!(c.as_slice(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_dot_panics() {
+        vec2(1.0, 2.0).dot(&Embedding::zeros(3));
+    }
+
+    #[test]
+    fn display_mentions_dim() {
+        assert!(vec2(1.0, 0.0).to_string().contains("dim=2"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the embedding layer.
+
+use embed::{Embedder, Embedding};
+use minilang::gen::{generate, mutate, Behavior, Mutation};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn module_from(seed: u64, behavior: usize, muts: &[usize]) -> minilang::Module {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = generate(Behavior::ALL[behavior % Behavior::ALL.len()], &mut rng);
+    for &i in muts {
+        m = mutate(&m, Mutation::ALL[i % Mutation::ALL.len()], &mut rng);
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cosine_stays_in_bounds(
+        a in any::<u64>(), b in any::<u64>(),
+        ba in 0usize..9, bb in 0usize..9,
+        dim in 1usize..512,
+    ) {
+        let e = Embedder::new(dim);
+        let va = e.embed(&module_from(a, ba, &[]));
+        let vb = e.embed(&module_from(b, bb, &[]));
+        let c = va.cosine(&vb);
+        prop_assert!((-1.0..=1.0).contains(&c), "cosine {}", c);
+        prop_assert!((va.cosine(&va) - 1.0).abs() < 1e-4 || va.norm() == 0.0);
+    }
+
+    #[test]
+    fn literal_only_mutations_are_embedding_invariant(
+        seed in any::<u64>(), behavior in 0usize..9,
+    ) {
+        // SwapStringLiteral and TweakIntConstant only touch literals,
+        // which the canonical token stream buckets — cosine must be 1.
+        let e = Embedder::new(256);
+        let base = module_from(seed, behavior, &[]);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabc);
+        let swapped = mutate(&base, Mutation::SwapStringLiteral, &mut rng);
+        let tweaked = mutate(&base, Mutation::TweakIntConstant, &mut rng);
+        prop_assert!((e.embed(&base).cosine(&e.embed(&swapped)) - 1.0).abs() < 1e-4);
+        prop_assert!((e.embed(&base).cosine(&e.embed(&tweaked)) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rename_mutations_are_embedding_invariant(
+        seed in any::<u64>(), behavior in 0usize..9,
+    ) {
+        let e = Embedder::new(256);
+        let base = module_from(seed, behavior, &[]);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdef);
+        let renamed = mutate(&base, Mutation::RenameIdentifier, &mut rng);
+        prop_assert!(
+            (e.embed(&base).cosine(&e.embed(&renamed)) - 1.0).abs() < 1e-4,
+            "alpha-renaming must be invisible to the embedding"
+        );
+    }
+
+    #[test]
+    fn dimension_changes_the_vector_not_the_neighborhood(
+        seed in any::<u64>(), behavior in 0usize..9,
+    ) {
+        let base = module_from(seed, behavior, &[]);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x123);
+        let near = mutate(&base, Mutation::InsertBenignFunction, &mut rng);
+        for dim in [512usize, 2048] {
+            let e = Embedder::new(dim);
+            let c = e.embed(&base).cosine(&e.embed(&near));
+            prop_assert!(c > 0.5, "dim {}: near-neighbour cosine {}", dim, c);
+        }
+    }
+
+    #[test]
+    fn centroid_arithmetic_is_consistent(
+        xs in proptest::collection::vec(-10.0f32..10.0, 4),
+        ys in proptest::collection::vec(-10.0f32..10.0, 4),
+    ) {
+        let a = Embedding::from_raw(xs.clone());
+        let b = Embedding::from_raw(ys.clone());
+        let mut acc = Embedding::zeros(4);
+        acc.add_assign(&a);
+        acc.add_assign(&b);
+        acc.scale_down(2.0);
+        for (i, v) in acc.as_slice().iter().enumerate() {
+            let expected = (xs[i] + ys[i]) / 2.0;
+            prop_assert!((v - expected).abs() < 1e-5);
+        }
+        // distance_sq is symmetric and zero on self.
+        prop_assert!((a.distance_sq(&b) - b.distance_sq(&a)).abs() < 1e-4);
+        prop_assert_eq!(a.distance_sq(&a), 0.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Graphviz DOT export for Fig.-3-style group renderings.
+
+use crate::{NodeId, PropertyGraph};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Renders the subgraph induced by `nodes` (or the whole graph if `None`)
+/// as a DOT document. Symmetric edge pairs are merged into one undirected
+/// DOT edge; `node_label` / `edge_label` control rendering.
+pub fn to_dot<N, L: Copy + Eq>(
+    graph: &PropertyGraph<N, L>,
+    nodes: Option<&[NodeId]>,
+    mut node_label: impl FnMut(NodeId, &N) -> String,
+    mut edge_label: impl FnMut(&L) -> String,
+) -> String {
+    let included: Option<HashSet<NodeId>> = nodes.map(|ns| ns.iter().copied().collect());
+    let keep = |id: NodeId| included.as_ref().is_none_or(|set| set.contains(&id));
+
+    let mut out = String::from("graph malgraph {\n  node [shape=box, fontsize=10];\n");
+    for (id, payload) in graph.nodes() {
+        if keep(id) {
+            let _ = writeln!(out, "  {id} [label=\"{}\"];", escape(&node_label(id, payload)));
+        }
+    }
+    // Merge (a→b, b→a) pairs: emit each undirected edge once (a < b), and
+    // any asymmetric edge as a directed-style annotation.
+    let mut emitted: HashSet<(NodeId, NodeId)> = HashSet::new();
+    for edge in graph.edges() {
+        if !keep(edge.from) || !keep(edge.to) {
+            continue;
+        }
+        let key = if edge.from <= edge.to {
+            (edge.from, edge.to)
+        } else {
+            (edge.to, edge.from)
+        };
+        if emitted.contains(&key) {
+            continue;
+        }
+        emitted.insert(key);
+        let _ = writeln!(
+            out,
+            "  {} -- {} [label=\"{}\"];",
+            key.0,
+            key.1,
+            escape(&edge_label(&edge.label))
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nodes_and_merged_edges() {
+        let mut g: PropertyGraph<&str, &str> = PropertyGraph::new();
+        let a = g.add_node("colorslib");
+        let b = g.add_node("httpslib");
+        g.add_undirected_edge(a, b, "coexist");
+        let dot = to_dot(&g, None, |_, n| n.to_string(), |l| l.to_string());
+        assert!(dot.contains("n0 [label=\"colorslib\"]"));
+        assert!(dot.contains("n1 [label=\"httpslib\"]"));
+        // Two directed edges merge into a single undirected DOT edge.
+        assert_eq!(dot.matches(" -- ").count(), 1);
+        assert!(dot.contains("label=\"coexist\""));
+    }
+
+    #[test]
+    fn induced_subgraph_filters_nodes_and_edges() {
+        let mut g: PropertyGraph<u8, u8> = PropertyGraph::new();
+        let a = g.add_node(0);
+        let b = g.add_node(1);
+        let c = g.add_node(2);
+        g.add_undirected_edge(a, b, 1);
+        g.add_undirected_edge(b, c, 1);
+        let dot = to_dot(&g, Some(&[a, b]), |id, _| id.to_string(), |_| String::new());
+        assert!(dot.contains("n0"));
+        assert!(dot.contains("n1"));
+        assert!(!dot.contains("n2"));
+        assert_eq!(dot.matches(" -- ").count(), 1);
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut g: PropertyGraph<&str, &str> = PropertyGraph::new();
+        g.add_node("with \"quotes\"");
+        let dot = to_dot(&g, None, |_, n| n.to_string(), |l| l.to_string());
+        assert!(dot.contains("\\\"quotes\\\""));
+    }
+
+    #[test]
+    fn empty_graph_is_valid_dot() {
+        let g: PropertyGraph<(), ()> = PropertyGraph::new();
+        let dot = to_dot(&g, None, |_, _| String::new(), |_| String::new());
+        assert!(dot.starts_with("graph malgraph {"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

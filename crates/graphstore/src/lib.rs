@@ -1,0 +1,425 @@
+//! An in-memory property-graph store — the reproduction's Neo4j.
+//!
+//! The paper stores MALGRAPH in Neo4j (§III-C) and uses it for exactly
+//! three things: keeping nodes with attributes, keeping typed edges, and
+//! extracting connected subgraphs per edge type (§III-B). This crate
+//! provides those capabilities as a generic store:
+//!
+//! * [`PropertyGraph<N, L>`] — nodes carry an arbitrary payload `N`,
+//!   edges carry a label `L` (MALGRAPH uses its four relation types);
+//! * [`PropertyGraph::components`] — connected components restricted to a
+//!   label subset, computed with a union-find ([`unionfind`]);
+//! * [`stats`] — node/edge counts and degree averages (paper Table II);
+//! * [`dot`] — Graphviz export for Fig.-3-style group renderings.
+//!
+//! # Examples
+//!
+//! ```
+//! use graphstore::PropertyGraph;
+//!
+//! let mut g: PropertyGraph<&str, &str> = PropertyGraph::new();
+//! let a = g.add_node("colorslib");
+//! let b = g.add_node("httpslib");
+//! g.add_undirected_edge(a, b, "coexist");
+//! let comps = g.components(|l| *l == "coexist");
+//! assert_eq!(comps.len(), 1);
+//! assert_eq!(comps[0].len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dot;
+pub mod stats;
+pub mod unionfind;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::hash::Hash;
+
+/// Identifier of a node within one [`PropertyGraph`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A directed, labeled edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge<L> {
+    /// Source node.
+    pub from: NodeId,
+    /// Target node.
+    pub to: NodeId,
+    /// Edge label (relation type).
+    pub label: L,
+}
+
+/// A directed multigraph with node payloads and labeled edges.
+///
+/// Symmetric relations (duplicated / similar / co-existing in MALGRAPH)
+/// are stored as a pair of directed edges via
+/// [`PropertyGraph::add_undirected_edge`]; the paper's Table II counts
+/// degrees the same way (average in-degree equals average out-degree for
+/// every relation graph).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PropertyGraph<N, L> {
+    nodes: Vec<N>,
+    out_adj: Vec<Vec<(NodeId, L)>>,
+    in_adj: Vec<Vec<(NodeId, L)>>,
+    edge_count: usize,
+}
+
+impl<N, L> Default for PropertyGraph<N, L> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N, L> PropertyGraph<N, L> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        PropertyGraph {
+            nodes: Vec::new(),
+            out_adj: Vec::new(),
+            in_adj: Vec::new(),
+            edge_count: 0,
+        }
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, payload: N) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("graph too large"));
+        self.nodes.push(payload);
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Payload of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this graph.
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable payload of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this graph.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Iterates `(id, payload)` pairs.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &N)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Finds the first node whose payload satisfies `pred`.
+    pub fn find_node(&self, pred: impl FnMut(&N) -> bool) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(pred)
+            .map(|i| NodeId(i as u32))
+    }
+}
+
+impl<N, L: Copy + Eq> PropertyGraph<N, L> {
+    /// Adds one directed edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is not a node of this graph.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, label: L) {
+        assert!(from.index() < self.nodes.len(), "unknown source node");
+        assert!(to.index() < self.nodes.len(), "unknown target node");
+        self.out_adj[from.index()].push((to, label));
+        self.in_adj[to.index()].push((from, label));
+        self.edge_count += 1;
+    }
+
+    /// Adds a symmetric relation as two directed edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is unknown or `a == b` (MALGRAPH
+    /// relations are irreflexive).
+    pub fn add_undirected_edge(&mut self, a: NodeId, b: NodeId, label: L) {
+        assert_ne!(a, b, "relations are irreflexive");
+        self.add_edge(a, b, label);
+        self.add_edge(b, a, label);
+    }
+
+    /// Outgoing `(target, label)` pairs of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this graph.
+    pub fn out_edges(&self, id: NodeId) -> &[(NodeId, L)] {
+        &self.out_adj[id.index()]
+    }
+
+    /// Incoming `(source, label)` pairs of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this graph.
+    pub fn in_edges(&self, id: NodeId) -> &[(NodeId, L)] {
+        &self.in_adj[id.index()]
+    }
+
+    /// Out-degree of `id` counting only edges whose label passes `filter`.
+    pub fn out_degree_by(&self, id: NodeId, mut filter: impl FnMut(&L) -> bool) -> usize {
+        self.out_adj[id.index()]
+            .iter()
+            .filter(|(_, l)| filter(l))
+            .count()
+    }
+
+    /// In-degree of `id` counting only edges whose label passes `filter`.
+    pub fn in_degree_by(&self, id: NodeId, mut filter: impl FnMut(&L) -> bool) -> usize {
+        self.in_adj[id.index()]
+            .iter()
+            .filter(|(_, l)| filter(l))
+            .count()
+    }
+
+    /// Whether an edge `from → to` with `label` exists.
+    pub fn has_edge(&self, from: NodeId, to: NodeId, label: L) -> bool {
+        self.out_adj[from.index()]
+            .iter()
+            .any(|&(t, l)| t == to && l == label)
+    }
+
+    /// Iterates every directed edge.
+    pub fn edges(&self) -> impl Iterator<Item = Edge<L>> + '_ {
+        self.out_adj.iter().enumerate().flat_map(|(i, adj)| {
+            adj.iter().map(move |&(to, label)| Edge {
+                from: NodeId(i as u32),
+                to,
+                label,
+            })
+        })
+    }
+
+    /// Number of directed edges whose label passes `filter`.
+    pub fn edge_count_by(&self, mut filter: impl FnMut(&L) -> bool) -> usize {
+        self.out_adj
+            .iter()
+            .flat_map(|adj| adj.iter())
+            .filter(|(_, l)| filter(l))
+            .count()
+    }
+
+    /// Connected components over the subgraph of edges whose label passes
+    /// `filter`, **including only nodes incident to at least one such
+    /// edge**. This matches the paper's subgraph semantics: Table II's
+    /// "DG has 2,475 nodes" counts packages that participate in at least
+    /// one duplicated relation, not the whole corpus.
+    ///
+    /// Components are returned sorted by ascending minimum node id, nodes
+    /// within a component sorted ascending.
+    pub fn components(&self, mut filter: impl FnMut(&L) -> bool) -> Vec<Vec<NodeId>> {
+        let mut uf = unionfind::UnionFind::new(self.nodes.len());
+        let mut touched = vec![false; self.nodes.len()];
+        for (i, adj) in self.out_adj.iter().enumerate() {
+            for (to, label) in adj {
+                if filter(label) {
+                    uf.union(i, to.index());
+                    touched[i] = true;
+                    touched[to.index()] = true;
+                }
+            }
+        }
+        let mut groups: std::collections::BTreeMap<usize, Vec<NodeId>> =
+            std::collections::BTreeMap::new();
+        for (i, &is_touched) in touched.iter().enumerate() {
+            if is_touched {
+                groups
+                    .entry(uf.find(i))
+                    .or_default()
+                    .push(NodeId(i as u32));
+            }
+        }
+        groups.into_values().collect()
+    }
+
+    /// Nodes reachable from `start` via edges whose label passes
+    /// `filter`, including `start` itself (BFS). Used by the Fig.-3
+    /// neighbourhood rendering and as the baseline in the union-find
+    /// ablation bench.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not a node of this graph.
+    pub fn reachable(&self, start: NodeId, mut filter: impl FnMut(&L) -> bool) -> Vec<NodeId> {
+        assert!(start.index() < self.nodes.len(), "unknown start node");
+        let mut seen = vec![false; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[start.index()] = true;
+        queue.push_back(start);
+        let mut out = Vec::new();
+        while let Some(cur) = queue.pop_front() {
+            out.push(cur);
+            for (next, label) in &self.out_adj[cur.index()] {
+                if filter(label) && !seen[next.index()] {
+                    seen[next.index()] = true;
+                    queue.push_back(*next);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Rel {
+        Dup,
+        Dep,
+    }
+
+    fn diamond() -> (PropertyGraph<u32, Rel>, Vec<NodeId>) {
+        let mut g = PropertyGraph::new();
+        let ids: Vec<NodeId> = (0..4).map(|i| g.add_node(i)).collect();
+        g.add_undirected_edge(ids[0], ids[1], Rel::Dup);
+        g.add_undirected_edge(ids[1], ids[2], Rel::Dup);
+        g.add_edge(ids[3], ids[0], Rel::Dep);
+        (g, ids)
+    }
+
+    #[test]
+    fn node_and_edge_counts() {
+        let (g, _) = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 5); // 2 undirected = 4 directed, + 1
+        assert_eq!(g.edge_count_by(|l| *l == Rel::Dup), 4);
+        assert_eq!(g.edge_count_by(|l| *l == Rel::Dep), 1);
+    }
+
+    #[test]
+    fn payload_access_and_mutation() {
+        let (mut g, ids) = diamond();
+        assert_eq!(*g.node(ids[2]), 2);
+        *g.node_mut(ids[2]) = 99;
+        assert_eq!(*g.node(ids[2]), 99);
+    }
+
+    #[test]
+    fn components_respect_label_filter() {
+        let (g, ids) = diamond();
+        let dup = g.components(|l| *l == Rel::Dup);
+        assert_eq!(dup, vec![vec![ids[0], ids[1], ids[2]]]);
+        let dep = g.components(|l| *l == Rel::Dep);
+        assert_eq!(dep, vec![vec![ids[0], ids[3]]]);
+        let all = g.components(|_| true);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].len(), 4);
+    }
+
+    #[test]
+    fn isolated_nodes_are_not_components() {
+        let mut g: PropertyGraph<(), Rel> = PropertyGraph::new();
+        g.add_node(());
+        g.add_node(());
+        assert!(g.components(|_| true).is_empty());
+    }
+
+    #[test]
+    fn degrees() {
+        let (g, ids) = diamond();
+        assert_eq!(g.out_degree_by(ids[1], |l| *l == Rel::Dup), 2);
+        assert_eq!(g.in_degree_by(ids[1], |l| *l == Rel::Dup), 2);
+        assert_eq!(g.out_degree_by(ids[3], |l| *l == Rel::Dep), 1);
+        assert_eq!(g.in_degree_by(ids[3], |l| *l == Rel::Dep), 0);
+    }
+
+    #[test]
+    fn has_edge_is_directional() {
+        let (g, ids) = diamond();
+        assert!(g.has_edge(ids[3], ids[0], Rel::Dep));
+        assert!(!g.has_edge(ids[0], ids[3], Rel::Dep));
+        assert!(g.has_edge(ids[0], ids[1], Rel::Dup));
+        assert!(g.has_edge(ids[1], ids[0], Rel::Dup));
+    }
+
+    #[test]
+    fn reachable_bfs() {
+        let (g, ids) = diamond();
+        let r = g.reachable(ids[0], |l| *l == Rel::Dup);
+        assert_eq!(r, vec![ids[0], ids[1], ids[2]]);
+        // Directed Dep edge: 3 reaches 0..2 via Dep+Dup, 0 cannot reach 3.
+        let r = g.reachable(ids[0], |_| true);
+        assert_eq!(r.len(), 3);
+        let r = g.reachable(ids[3], |_| true);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "irreflexive")]
+    fn self_loop_rejected() {
+        let mut g: PropertyGraph<(), Rel> = PropertyGraph::new();
+        let a = g.add_node(());
+        g.add_undirected_edge(a, a, Rel::Dup);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown target node")]
+    fn dangling_edge_rejected() {
+        let mut g: PropertyGraph<(), Rel> = PropertyGraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, NodeId(7), Rel::Dup);
+    }
+
+    #[test]
+    fn find_node_by_payload() {
+        let (g, ids) = diamond();
+        assert_eq!(g.find_node(|&n| n == 3), Some(ids[3]));
+        assert_eq!(g.find_node(|&n| n == 42), None);
+    }
+
+    #[test]
+    fn edges_iterator_yields_all_directed_edges() {
+        let (g, _) = diamond();
+        assert_eq!(g.edges().count(), 5);
+        assert_eq!(g.edges().filter(|e| e.label == Rel::Dep).count(), 1);
+    }
+}

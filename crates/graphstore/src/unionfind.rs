@@ -1,0 +1,144 @@
+//! Disjoint-set (union-find) with path halving and union by size.
+
+/// A disjoint-set forest over `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use graphstore::unionfind::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// uf.union(0, 1);
+/// uf.union(2, 3);
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(1, 2));
+/// assert_eq!(uf.component_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set (path halving).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= len()`.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were
+    /// previously disjoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn component_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r]
+    }
+
+    /// Number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_sets_are_singletons() {
+        let mut uf = UnionFind::new(3);
+        assert_eq!(uf.component_count(), 3);
+        for i in 0..3 {
+            assert_eq!(uf.find(i), i);
+            assert_eq!(uf.component_size(i), 1);
+        }
+    }
+
+    #[test]
+    fn union_merges_and_reports() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0), "already merged");
+        assert!(uf.union(1, 2));
+        assert_eq!(uf.component_count(), 2);
+        assert_eq!(uf.component_size(0), 3);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+    }
+
+    #[test]
+    fn transitive_chains() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.component_count(), 1);
+        assert!(uf.connected(0, 99));
+        assert_eq!(uf.component_size(42), 100);
+    }
+
+    #[test]
+    fn empty_structure() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.component_count(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let mut uf = UnionFind::new(2);
+        uf.find(5);
+    }
+}

@@ -1,0 +1,27 @@
+//! The paper's four empirical analyses over MALGRAPH.
+//!
+//! * [`overlap`] — RQ1: source overlap matrix (Table IV) and DG size
+//!   distributions (Fig. 4);
+//! * [`quality`] — RQ1: update frequencies (Table V), missing rates
+//!   (Table VI) and the unavailability-cause census (Fig. 5);
+//! * [`diversity`] — RQ2: group censuses per ecosystem (Table VII) and
+//!   the Table II relation statistics;
+//! * [`campaign`] — RQ3: active periods (Fig. 9), life-cycle phase gaps
+//!   (Fig. 6), campaign timelines (Fig. 8);
+//! * [`actors`] — RQ3 context: actor attribution from reports (the
+//!   paper's finding 4, quantified);
+//! * [`evolution`] — RQ4: changing-operation distribution (Fig. 12),
+//!   download evolution (Fig. 11) and the IDN ranking (Table VIII);
+//! * [`timeline`] — the Fig.-2 release timeline and the §II-D
+//!   stability-over-time check;
+//! * [`typosquat`] — extension: which popular packages attackers
+//!   impersonate (§V's "most popular attack vector", measured).
+
+pub mod actors;
+pub mod campaign;
+pub mod diversity;
+pub mod evolution;
+pub mod overlap;
+pub mod quality;
+pub mod timeline;
+pub mod typosquat;

@@ -1,0 +1,322 @@
+//! MALGRAPH construction from a collected corpus (paper §III).
+
+use crate::node::{MalNode, Relation};
+use crate::similarity::{similar_pairs, SimilarityConfig, SimilarityOutput};
+use crawler::CollectedDataset;
+use graphstore::{NodeId, PropertyGraph};
+use oss_types::{Ecosystem, PackageId};
+use std::collections::HashMap;
+
+/// Options of the graph builder.
+#[derive(Debug, Clone, Default)]
+pub struct BuildOptions {
+    /// Similarity-pipeline configuration.
+    pub similarity: SimilarityConfig,
+}
+
+/// The MALGRAPH knowledge graph.
+///
+/// Nodes are package/source pairs ([`MalNode`]); edges carry one of the
+/// four [`Relation`]s. Symmetric relations (duplicated / similar /
+/// co-existing) are stored as directed pairs, dependency edges point from
+/// the dependent package to its dependency.
+#[derive(Debug)]
+pub struct MalGraph {
+    /// The underlying property graph.
+    pub graph: PropertyGraph<MalNode, Relation>,
+    primary: HashMap<PackageId, NodeId>,
+    /// Similarity diagnostics per ecosystem (chosen k, schedule trace).
+    pub similarity_diagnostics: Vec<(Ecosystem, SimilarityOutput)>,
+}
+
+impl MalGraph {
+    /// The primary node of a package, if the package is in the corpus.
+    pub fn primary_node(&self, id: &PackageId) -> Option<NodeId> {
+        self.primary.get(id).copied()
+    }
+
+    /// Number of distinct packages (primary nodes).
+    pub fn package_count(&self) -> usize {
+        self.primary.len()
+    }
+
+    /// Connected components of one relation (paper's subgraph groups).
+    pub fn groups(&self, relation: Relation) -> Vec<Vec<NodeId>> {
+        self.graph.components(|l| *l == relation)
+    }
+
+    /// Table II row for one relation.
+    pub fn relation_stats(&self, relation: Relation) -> graphstore::stats::RelationStats {
+        graphstore::stats::RelationStats::compute(&self.graph, |l| *l == relation)
+    }
+}
+
+/// Builds MALGRAPH from a collected corpus.
+///
+/// The construction (paper §III-A):
+/// 1. one node per package/source mention; the first mention is the
+///    package's *primary* node;
+/// 2. **duplicated** edges: clique over the nodes of the same package
+///    (same artifact signature, or name+version when unavailable);
+/// 3. **dependency** edges: metadata dependencies pointing at another
+///    *malicious* package of the corpus (legitimate dependencies are
+///    dropped);
+/// 4. **similar** edges: the AST→embedding→K-Means pipeline per
+///    ecosystem, over available packages;
+/// 5. **co-existing** edges: clique over the packages named by the same
+///    security report.
+pub fn build(dataset: &CollectedDataset, options: &BuildOptions) -> MalGraph {
+    let mut graph: PropertyGraph<MalNode, Relation> = PropertyGraph::new();
+    let mut primary: HashMap<PackageId, NodeId> = HashMap::new();
+
+    // 1+2. Nodes and duplicated cliques.
+    for pkg in &dataset.packages {
+        let mut nodes_of_pkg: Vec<NodeId> = Vec::new();
+        for (i, &(source, disclosed)) in pkg.mentions.iter().enumerate() {
+            let node = graph.add_node(MalNode {
+                package: pkg.id.clone(),
+                source,
+                disclosed,
+                hash: pkg.signature,
+                path: MalNode::storage_path(&pkg.id, source),
+                primary: i == 0,
+            });
+            if i == 0 {
+                primary.insert(pkg.id.clone(), node);
+            }
+            nodes_of_pkg.push(node);
+        }
+        for a in 0..nodes_of_pkg.len() {
+            for b in (a + 1)..nodes_of_pkg.len() {
+                graph.add_undirected_edge(nodes_of_pkg[a], nodes_of_pkg[b], Relation::Duplicated);
+            }
+        }
+    }
+
+    // 3. Dependency edges between malicious packages.
+    let mut by_name: HashMap<(Ecosystem, &str), Vec<&PackageId>> = HashMap::new();
+    for pkg in &dataset.packages {
+        by_name
+            .entry((pkg.id.ecosystem(), pkg.id.name().as_str()))
+            .or_default()
+            .push(&pkg.id);
+    }
+    for pkg in &dataset.packages {
+        let Some(archive) = &pkg.archive else {
+            continue;
+        };
+        let from = primary[&pkg.id];
+        for dep in &archive.dependencies {
+            let Some(candidates) = by_name.get(&(pkg.id.ecosystem(), dep.as_str())) else {
+                continue; // a legitimate dependency: dropped
+            };
+            for target in candidates {
+                if **target == pkg.id {
+                    continue;
+                }
+                let to = primary[*target];
+                if !graph.has_edge(from, to, Relation::Dependency) {
+                    graph.add_edge(from, to, Relation::Dependency);
+                }
+            }
+        }
+    }
+
+    // 4. Similar edges per ecosystem.
+    let mut similarity_diagnostics = Vec::new();
+    for eco in Ecosystem::ALL {
+        let entries: Vec<(PackageId, &str)> = dataset
+            .packages
+            .iter()
+            .filter(|p| p.id.ecosystem() == eco)
+            .filter_map(|p| p.archive.as_ref().map(|a| (p.id.clone(), a.code.as_str())))
+            .collect();
+        if entries.len() < 2 {
+            continue;
+        }
+        let out = similar_pairs(&entries, &options.similarity);
+        for &(a, b) in &out.pairs {
+            let na = primary[&entries[a].0];
+            let nb = primary[&entries[b].0];
+            graph.add_undirected_edge(na, nb, Relation::Similar);
+        }
+        similarity_diagnostics.push((eco, out));
+    }
+
+    // 5. Co-existing cliques per report.
+    for report in &dataset.reports {
+        let nodes: Vec<NodeId> = report
+            .packages
+            .iter()
+            .filter_map(|id| primary.get(id).copied())
+            .collect();
+        for a in 0..nodes.len() {
+            for b in (a + 1)..nodes.len() {
+                if !graph.has_edge(nodes[a], nodes[b], Relation::Coexisting) {
+                    graph.add_undirected_edge(nodes[a], nodes[b], Relation::Coexisting);
+                }
+            }
+        }
+    }
+
+    MalGraph {
+        graph,
+        primary,
+        similarity_diagnostics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crawler::collect;
+    use registry_sim::{World, WorldConfig};
+
+    fn built() -> (World, CollectedDataset, MalGraph) {
+        let world = World::generate(WorldConfig::small(31));
+        let dataset = collect(&world);
+        let graph = build(&dataset, &BuildOptions::default());
+        (world, dataset, graph)
+    }
+
+    #[test]
+    fn node_count_equals_mention_count() {
+        let (world, _, graph) = built();
+        assert_eq!(graph.graph.node_count(), world.mentions.len());
+    }
+
+    #[test]
+    fn every_package_has_exactly_one_primary_node() {
+        let (_, dataset, graph) = built();
+        assert_eq!(graph.package_count(), dataset.packages.len());
+        let primaries = graph
+            .graph
+            .nodes()
+            .filter(|(_, n)| n.primary)
+            .count();
+        assert_eq!(primaries, dataset.packages.len());
+    }
+
+    #[test]
+    fn duplicated_groups_are_multi_source_packages() {
+        let (_, dataset, graph) = built();
+        let dg = graph.groups(Relation::Duplicated);
+        let multi = dataset
+            .packages
+            .iter()
+            .filter(|p| p.mentions.len() >= 2)
+            .count();
+        assert_eq!(dg.len(), multi, "one DG per multi-source package");
+        for group in &dg {
+            let first = &graph.graph.node(group[0]).package;
+            assert!(
+                group.iter().all(|&n| &graph.graph.node(n).package == first),
+                "a DG must contain one package only"
+            );
+        }
+    }
+
+    #[test]
+    fn dependency_edges_link_known_malicious_fronts() {
+        let (world, _, graph) = built();
+        let deg = graph.groups(Relation::Dependency);
+        // The world always plans dependency campaigns; at least one front
+        // and its library must both be in the corpus and linked.
+        assert!(
+            !deg.is_empty(),
+            "dependency campaigns must produce DeG groups"
+        );
+        for group in &deg {
+            assert!(group.len() >= 2);
+        }
+        // Validate one edge against ground truth: the target of every
+        // dependency edge is a dependency of the source.
+        let mut checked = 0;
+        for edge in graph.graph.edges().filter(|e| e.label == Relation::Dependency) {
+            let from = graph.graph.node(edge.from);
+            let to = graph.graph.node(edge.to);
+            let truth = world
+                .packages
+                .iter()
+                .find(|p| p.id == from.package)
+                .expect("exists");
+            assert!(truth.dependencies.contains(to.package.name()));
+            checked += 1;
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn similar_edges_only_between_available_packages() {
+        let (_, dataset, graph) = built();
+        for edge in graph.graph.edges().filter(|e| e.label == Relation::Similar) {
+            let node = graph.graph.node(edge.from);
+            let pkg = dataset.get(&node.package).expect("exists");
+            assert!(pkg.is_available(), "{} is not available", node.package);
+        }
+    }
+
+    #[test]
+    fn similar_groups_are_dominated_by_true_campaigns() {
+        let (world, _, graph) = built();
+        let sg = graph.groups(Relation::Similar);
+        assert!(!sg.is_empty(), "similar campaigns must produce SGs");
+        // Majority label purity: most members of each sizable group share
+        // the campaign that truly generated them.
+        let mut pure = 0usize;
+        let mut sized = 0usize;
+        for group in sg.iter().filter(|g| g.len() >= 4) {
+            sized += 1;
+            let mut counts: HashMap<Option<registry_sim::CampaignIdx>, usize> = HashMap::new();
+            for &n in group {
+                let id = &graph.graph.node(n).package;
+                let truth = world.packages.iter().find(|p| p.id == *id).expect("exists");
+                *counts.entry(truth.campaign).or_default() += 1;
+            }
+            let max = counts.values().max().copied().unwrap_or(0);
+            if max * 10 >= group.len() * 7 {
+                pure += 1;
+            }
+        }
+        assert!(sized > 0, "no sizable similar groups formed");
+        assert!(
+            pure * 10 >= sized * 6,
+            "only {pure}/{sized} sizable SGs are campaign-pure"
+        );
+    }
+
+    #[test]
+    fn coexisting_groups_come_from_reports() {
+        let (_, dataset, graph) = built();
+        let cg = graph.groups(Relation::Coexisting);
+        let multi_reports = dataset.reports.iter().filter(|r| r.packages.len() >= 2).count();
+        assert!(!cg.is_empty());
+        assert!(cg.len() <= multi_reports, "chained reports merge CGs");
+    }
+
+    #[test]
+    fn table2_stats_have_symmetric_degrees() {
+        let (_, _, graph) = built();
+        for relation in Relation::ALL {
+            let stats = graph.relation_stats(relation);
+            assert!(
+                (stats.avg_out_degree - stats.avg_in_degree).abs() < 1e-9
+                    || relation == Relation::Dependency,
+                "{relation}: asymmetric degrees"
+            );
+        }
+        // Duplicated graph must be non-trivial.
+        let dg = graph.relation_stats(Relation::Duplicated);
+        assert!(dg.nodes > 0);
+        assert!(dg.edges >= dg.nodes, "cliques have at least n edges (directed)");
+    }
+
+    #[test]
+    fn similarity_diagnostics_cover_major_ecosystems() {
+        let (_, _, graph) = built();
+        assert!(graph
+            .similarity_diagnostics
+            .iter()
+            .any(|(eco, _)| *eco == Ecosystem::PyPI));
+    }
+}

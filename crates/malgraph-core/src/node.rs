@@ -1,0 +1,137 @@
+//! MALGRAPH nodes and relations.
+
+use oss_types::{Ecosystem, PackageId, Sha256, SimTime, SourceId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four MALGRAPH relations (paper §III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Relation {
+    /// Two nodes are the same package seen through different sources.
+    Duplicated,
+    /// One malicious package depends on another (directed).
+    Dependency,
+    /// Two packages share a similar code base (embedding cluster).
+    Similar,
+    /// Two packages co-occur in the same security report.
+    Coexisting,
+}
+
+impl Relation {
+    /// All four relations in Table II order.
+    pub const ALL: [Relation; 4] = [
+        Relation::Duplicated,
+        Relation::Dependency,
+        Relation::Similar,
+        Relation::Coexisting,
+    ];
+
+    /// Subgraph abbreviation used by the paper (DG / DeG / SG / CG).
+    pub fn group_label(self) -> &'static str {
+        match self {
+            Relation::Duplicated => "DG",
+            Relation::Dependency => "DeG",
+            Relation::Similar => "SG",
+            Relation::Coexisting => "CG",
+        }
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.group_label())
+    }
+}
+
+/// One MALGRAPH node: a malicious package *as collected from one source*.
+///
+/// The paper stores seven attributes per node (§III-A): ID, package name,
+/// package version, source, hash value, path, and ecosystem. Name,
+/// version and ecosystem live inside [`PackageId`]; the node id itself is
+/// the graph-store index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MalNode {
+    /// Registry identity (name + version + ecosystem).
+    pub package: PackageId,
+    /// The online source this node was collected from.
+    pub source: SourceId,
+    /// When the source disclosed it.
+    pub disclosed: SimTime,
+    /// Artifact signature; `None` while the package is unavailable.
+    pub hash: Option<Sha256>,
+    /// Storage path of the archive in the corpus layout.
+    pub path: String,
+    /// Whether this node is the package's *primary* node — the one that
+    /// carries the package-level relations (dependency / similar /
+    /// co-existing). Secondary nodes attach via duplicated edges.
+    pub primary: bool,
+}
+
+impl MalNode {
+    /// The node's ecosystem.
+    pub fn ecosystem(&self) -> Ecosystem {
+        self.package.ecosystem()
+    }
+
+    /// Whether the artifact is available in the corpus.
+    pub fn available(&self) -> bool {
+        self.hash.is_some()
+    }
+
+    /// Corpus storage path for a package/source pair, e.g.
+    /// `corpus/pypi/pygrata/0.1.0/mal-pypi.tar.gz`.
+    pub fn storage_path(package: &PackageId, source: SourceId) -> String {
+        format!(
+            "corpus/{}/{}/{}/{}.tar.gz",
+            package.ecosystem().slug(),
+            package.name(),
+            package.version(),
+            source.slug()
+        )
+    }
+}
+
+impl fmt::Display for MalNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.package, self.source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relations_have_paper_labels() {
+        assert_eq!(Relation::Duplicated.group_label(), "DG");
+        assert_eq!(Relation::Dependency.group_label(), "DeG");
+        assert_eq!(Relation::Similar.group_label(), "SG");
+        assert_eq!(Relation::Coexisting.group_label(), "CG");
+    }
+
+    #[test]
+    fn storage_path_layout() {
+        let id: PackageId = "pypi/pygrata@0.1.0".parse().unwrap();
+        assert_eq!(
+            MalNode::storage_path(&id, SourceId::Phylum),
+            "corpus/pypi/pygrata/0.1.0/phylum.tar.gz"
+        );
+    }
+
+    #[test]
+    fn availability_follows_hash() {
+        let id: PackageId = "npm/x@1.0.0".parse().unwrap();
+        let mut node = MalNode {
+            package: id.clone(),
+            source: SourceId::Socket,
+            disclosed: SimTime::EPOCH,
+            hash: None,
+            path: MalNode::storage_path(&id, SourceId::Socket),
+            primary: true,
+        };
+        assert!(!node.available());
+        node.hash = Some(Sha256::digest(b"artifact"));
+        assert!(node.available());
+        assert_eq!(node.ecosystem(), Ecosystem::Npm);
+    }
+}

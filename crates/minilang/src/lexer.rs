@@ -1,0 +1,412 @@
+//! Indentation-sensitive lexer for PyLite.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are distinguished by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal, unescaped.
+    Str(String),
+    /// A punctuation or operator token, e.g. `"=="`, `"("`.
+    Op(&'static str),
+    /// End of a logical line.
+    Newline,
+    /// Indentation increased.
+    Indent,
+    /// Indentation decreased (one per level closed).
+    Dedent,
+    /// End of input (emitted once, after closing dedents).
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "identifier {s:?}"),
+            Token::Int(v) => write!(f, "integer {v}"),
+            Token::Float(v) => write!(f, "float {v}"),
+            Token::Str(s) => write!(f, "string {s:?}"),
+            Token::Op(op) => write!(f, "{op:?}"),
+            Token::Newline => f.write_str("newline"),
+            Token::Indent => f.write_str("indent"),
+            Token::Dedent => f.write_str("dedent"),
+            Token::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// A lexing error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes PyLite source.
+///
+/// Indentation must be spaces (tabs are rejected); each indentation level
+/// must return to a previously seen column on dedent. Blank and
+/// comment-only lines produce no tokens.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on tab indentation, inconsistent dedents,
+/// unterminated strings, or characters outside the language.
+pub fn lex(source: &str) -> Result<Vec<SpannedToken>, LexError> {
+    let mut tokens = Vec::new();
+    let mut indents: Vec<usize> = vec![0];
+    let mut line_no = 0usize;
+
+    for raw_line in source.split('\n') {
+        line_no += 1;
+        let line = raw_line.strip_suffix('\r').unwrap_or(raw_line);
+
+        // Measure indentation.
+        let mut indent = 0usize;
+        let bytes = line.as_bytes();
+        while indent < bytes.len() && bytes[indent] == b' ' {
+            indent += 1;
+        }
+        if indent < bytes.len() && bytes[indent] == b'\t' {
+            return Err(LexError {
+                line: line_no,
+                message: "tab indentation is not allowed".into(),
+            });
+        }
+        let rest = &line[indent..];
+        if rest.is_empty() || rest.starts_with('#') {
+            continue; // blank or comment-only line
+        }
+
+        // Emit indent / dedent tokens.
+        let current = *indents.last().expect("indent stack never empty");
+        if indent > current {
+            indents.push(indent);
+            tokens.push(SpannedToken {
+                token: Token::Indent,
+                line: line_no,
+            });
+        } else if indent < current {
+            while *indents.last().expect("indent stack never empty") > indent {
+                indents.pop();
+                tokens.push(SpannedToken {
+                    token: Token::Dedent,
+                    line: line_no,
+                });
+            }
+            if *indents.last().expect("indent stack never empty") != indent {
+                return Err(LexError {
+                    line: line_no,
+                    message: format!("inconsistent dedent to column {indent}"),
+                });
+            }
+        }
+
+        lex_line(rest, line_no, &mut tokens)?;
+        tokens.push(SpannedToken {
+            token: Token::Newline,
+            line: line_no,
+        });
+    }
+
+    while indents.len() > 1 {
+        indents.pop();
+        tokens.push(SpannedToken {
+            token: Token::Dedent,
+            line: line_no,
+        });
+    }
+    tokens.push(SpannedToken {
+        token: Token::Eof,
+        line: line_no,
+    });
+    Ok(tokens)
+}
+
+fn lex_line(rest: &str, line: usize, tokens: &mut Vec<SpannedToken>) -> Result<(), LexError> {
+    let chars: Vec<char> = rest.chars().collect();
+    let mut i = 0usize;
+    let push = |tokens: &mut Vec<SpannedToken>, token: Token| {
+        tokens.push(SpannedToken { token, line });
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' => {
+                i += 1;
+            }
+            '#' => break, // trailing comment
+            '\'' | '"' => {
+                let quote = c;
+                i += 1;
+                let mut value = String::new();
+                let mut closed = false;
+                while i < chars.len() {
+                    let ch = chars[i];
+                    if ch == '\\' {
+                        i += 1;
+                        let esc = *chars.get(i).ok_or_else(|| LexError {
+                            line,
+                            message: "dangling escape at end of line".into(),
+                        })?;
+                        value.push(match esc {
+                            'n' => '\n',
+                            't' => '\t',
+                            '\\' => '\\',
+                            '\'' => '\'',
+                            '"' => '"',
+                            other => {
+                                return Err(LexError {
+                                    line,
+                                    message: format!("unknown escape \\{other}"),
+                                })
+                            }
+                        });
+                        i += 1;
+                    } else if ch == quote {
+                        i += 1;
+                        closed = true;
+                        break;
+                    } else {
+                        value.push(ch);
+                        i += 1;
+                    }
+                }
+                if !closed {
+                    return Err(LexError {
+                        line,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                push(tokens, Token::Str(value));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < chars.len() && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    let v = text.parse().map_err(|_| LexError {
+                        line,
+                        message: format!("bad float literal {text:?}"),
+                    })?;
+                    push(tokens, Token::Float(v));
+                } else {
+                    let v = text.parse().map_err(|_| LexError {
+                        line,
+                        message: format!("integer literal out of range: {text}"),
+                    })?;
+                    push(tokens, Token::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                push(tokens, Token::Ident(chars[start..i].iter().collect()));
+            }
+            _ => {
+                // Operators, longest first.
+                const TWO: [&str; 6] = ["**", "==", "!=", "<=", ">=", "->"];
+                const ONE: [&str; 15] = [
+                    "+", "-", "*", "/", "%", "=", "<", ">", "(", ")", "[", "]", "{", "}", ":",
+                ];
+                const ONE_MORE: [&str; 2] = [",", "."];
+                let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
+                if let Some(op) = TWO.iter().find(|&&t| t == two) {
+                    push(tokens, Token::Op(op));
+                    i += 2;
+                } else {
+                    let one = c.to_string();
+                    if let Some(op) = ONE
+                        .iter()
+                        .chain(ONE_MORE.iter())
+                        .find(|&&t| t == one)
+                    {
+                        push(tokens, Token::Op(op));
+                        i += 1;
+                    } else {
+                        return Err(LexError {
+                            line,
+                            message: format!("unexpected character {c:?}"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn simple_line() {
+        assert_eq!(
+            toks("x = 1"),
+            vec![
+                Token::Ident("x".into()),
+                Token::Op("="),
+                Token::Int(1),
+                Token::Newline,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(
+            toks(r#"s = 'a\'b' "c\nd""#),
+            vec![
+                Token::Ident("s".into()),
+                Token::Op("="),
+                Token::Str("a'b".into()),
+                Token::Str("c\nd".into()),
+                Token::Newline,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("s = 'oops").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("a = 3.25 + 7"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Op("="),
+                Token::Float(3.25),
+                Token::Op("+"),
+                Token::Int(7),
+                Token::Newline,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn indent_dedent_pairs() {
+        let src = "def f():\n    x = 1\n    if x:\n        pass\ny = 2\n";
+        let ts = toks(src);
+        let indents = ts.iter().filter(|t| **t == Token::Indent).count();
+        let dedents = ts.iter().filter(|t| **t == Token::Dedent).count();
+        assert_eq!(indents, 2);
+        assert_eq!(dedents, 2);
+    }
+
+    #[test]
+    fn dangling_indent_closed_at_eof() {
+        let ts = toks("if x:\n    pass");
+        assert_eq!(ts.iter().filter(|t| **t == Token::Dedent).count(), 1);
+        assert_eq!(ts.last(), Some(&Token::Eof));
+    }
+
+    #[test]
+    fn inconsistent_dedent_is_error() {
+        let err = lex("if x:\n        pass\n  y = 1\n").unwrap_err();
+        assert!(err.message.contains("inconsistent dedent"), "{err}");
+    }
+
+    #[test]
+    fn tab_indent_is_error() {
+        assert!(lex("if x:\n\tpass\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let ts = toks("# header\n\nx = 1  # trailing\n\n# end\n");
+        assert_eq!(
+            ts,
+            vec![
+                Token::Ident("x".into()),
+                Token::Op("="),
+                Token::Int(1),
+                Token::Newline,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let ts = toks("a == b != c <= d >= e ** f");
+        let ops: Vec<_> = ts
+            .iter()
+            .filter_map(|t| match t {
+                Token::Op(op) => Some(*op),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ops, vec!["==", "!=", "<=", ">=", "**"]);
+    }
+
+    #[test]
+    fn unknown_character_is_error() {
+        let err = lex("x = 1 @ 2").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let spanned = lex("x = 1\ny = 2\n").unwrap();
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[3].line, 1); // newline of line 1
+        assert_eq!(spanned[4].line, 2); // `y`
+    }
+
+    #[test]
+    fn crlf_is_tolerated() {
+        assert_eq!(
+            toks("x = 1\r\ny = 2\r\n"),
+            toks("x = 1\ny = 2\n")
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Adversary identities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An adversary (threat-actor) identity.
+///
+/// The simulator assigns every campaign to an actor; real corpora only
+/// learn actors when a security report discloses a handle (e.g. the
+/// `Lolip0p` author of the Colorslib/httpslib/libhttps packages), so the
+/// analyses treat the actor as *ground truth* for validation and never use
+/// it as an input feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ActorId(u32);
+
+impl ActorId {
+    /// Constructs an actor id from a raw index.
+    pub const fn new(raw: u32) -> Self {
+        ActorId(raw)
+    }
+
+    /// The raw index.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// A pseudonymous handle in the style reports use ("actor-0042").
+    pub fn handle(self) -> String {
+        format!("actor-{:04}", self.0)
+    }
+}
+
+impl fmt::Display for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.handle())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_formatting() {
+        assert_eq!(ActorId::new(42).to_string(), "actor-0042");
+        assert_eq!(ActorId::new(42).handle(), "actor-0042");
+        assert_eq!(ActorId::new(12345).to_string(), "actor-12345");
+    }
+
+    #[test]
+    fn ordering_follows_raw() {
+        assert!(ActorId::new(1) < ActorId::new(2));
+        assert_eq!(ActorId::new(7).raw(), 7);
+    }
+}

@@ -1,0 +1,74 @@
+//! Error types for parsing domain values.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a textual representation of a domain value
+/// (package name, version, ecosystem, …) fails to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    what: &'static str,
+    input: String,
+    reason: &'static str,
+}
+
+impl ParseError {
+    /// Creates a parse error for `what` (e.g. `"package name"`) with the
+    /// offending `input` and a short `reason`.
+    pub fn new(what: &'static str, input: impl Into<String>, reason: &'static str) -> Self {
+        Self {
+            what,
+            input: input.into(),
+            reason,
+        }
+    }
+
+    /// The kind of value that failed to parse.
+    pub fn what(&self) -> &'static str {
+        self.what
+    }
+
+    /// The input that failed to parse.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+
+    /// Why the input was rejected.
+    pub fn reason(&self) -> &'static str {
+        self.reason
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid {}: {:?} ({})",
+            self.what, self.input, self.reason
+        )
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_all_parts() {
+        let err = ParseError::new("version", "1..2", "empty component");
+        let s = err.to_string();
+        assert!(s.contains("version"));
+        assert!(s.contains("1..2"));
+        assert!(s.contains("empty component"));
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let err = ParseError::new("package name", "UPPER", "uppercase not allowed");
+        assert_eq!(err.what(), "package name");
+        assert_eq!(err.input(), "UPPER");
+        assert_eq!(err.reason(), "uppercase not allowed");
+    }
+}

@@ -1,0 +1,288 @@
+//! SHA-256 artifact signatures, implemented from scratch.
+//!
+//! The paper's prototype computes package signatures with Python's
+//! `hashlib` (§III-C) and uses them for the *duplicated* edge: two nodes
+//! with the same signature are the same package seen through different
+//! sources. No hashing crate is on the approved dependency list, so this
+//! module carries a self-contained FIPS 180-4 SHA-256.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// A 256-bit SHA-256 digest used as a package signature.
+///
+/// # Examples
+///
+/// ```
+/// use oss_types::Sha256;
+///
+/// let d = Sha256::digest(b"abc");
+/// assert_eq!(
+///     d.to_string(),
+///     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Sha256([u8; 32]);
+
+impl Sha256 {
+    /// Hashes `data` in one shot.
+    pub fn digest(data: &[u8]) -> Self {
+        let mut hasher = Sha256Hasher::new();
+        hasher.update(data);
+        hasher.finalize()
+    }
+
+    /// Hashes the UTF-8 bytes of a string.
+    pub fn digest_str(data: &str) -> Self {
+        Self::digest(data.as_bytes())
+    }
+
+    /// The raw digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Constructs a digest from raw bytes (e.g. parsed from a report).
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        Sha256(bytes)
+    }
+
+    /// A short 8-hex-character prefix, convenient for log lines and the
+    /// DOT renderings of graph nodes.
+    pub fn short(&self) -> String {
+        self.0[..4].iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl fmt::Display for Sha256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental SHA-256 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use oss_types::hash::Sha256Hasher;
+/// use oss_types::Sha256;
+///
+/// let mut h = Sha256Hasher::new();
+/// h.update(b"ab");
+/// h.update(b"c");
+/// assert_eq!(h.finalize(), Sha256::digest(b"abc"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha256Hasher {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffer_len: usize,
+    total_len: u64,
+}
+
+impl Sha256Hasher {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha256Hasher {
+            state: H0,
+            buffer: [0; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Feeds `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len += data.len() as u64;
+        let mut rest = data;
+        if self.buffer_len > 0 {
+            let take = rest.len().min(64 - self.buffer_len);
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&rest[..take]);
+            self.buffer_len += take;
+            rest = &rest[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+        }
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            self.buffer[..rest.len()].copy_from_slice(rest);
+            self.buffer_len = rest.len();
+        }
+    }
+
+    /// Finishes the hash and returns the digest.
+    pub fn finalize(mut self) -> Sha256 {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update(&[0x80]);
+        // NB: update() already counted the 0x80; the length field must not
+        // include padding, so stash the value computed beforehand.
+        while self.buffer_len != 56 {
+            self.update(&[0]);
+        }
+        let mut with_len = self.clone();
+        with_len.update(&bit_len.to_be_bytes());
+        let mut out = [0u8; 32];
+        for (i, word) in with_len.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Sha256(out)
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let temp1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+impl Default for Sha256Hasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: Sha256) -> String {
+        d.to_string()
+    }
+
+    #[test]
+    fn fips_180_4_vectors() {
+        assert_eq!(
+            hex(Sha256::digest(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(Sha256::digest(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hex(Sha256::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn million_a_vector() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(Sha256::digest(&data)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        for split in [0usize, 1, 63, 64, 65, 128, 999, 1000] {
+            let mut h = Sha256Hasher::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), Sha256::digest(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn exact_block_boundary() {
+        // 55, 56 and 64 bytes exercise the padding edge cases.
+        for len in [55usize, 56, 63, 64, 119, 120] {
+            let data = vec![0xabu8; len];
+            let one = Sha256::digest(&data);
+            let mut inc = Sha256Hasher::new();
+            for b in &data {
+                inc.update(std::slice::from_ref(b));
+            }
+            assert_eq!(inc.finalize(), one, "len {len}");
+        }
+    }
+
+    #[test]
+    fn short_prefix() {
+        let d = Sha256::digest(b"abc");
+        assert_eq!(d.short(), "ba7816bf");
+        assert_eq!(d.short().len(), 8);
+    }
+
+    #[test]
+    fn digest_str_matches_bytes() {
+        assert_eq!(Sha256::digest_str("abc"), Sha256::digest(b"abc"));
+    }
+
+    #[test]
+    fn from_bytes_round_trips() {
+        let d = Sha256::digest(b"roundtrip");
+        assert_eq!(Sha256::from_bytes(*d.as_bytes()), d);
+    }
+}

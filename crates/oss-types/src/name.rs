@@ -1,0 +1,189 @@
+//! Validated package names and typosquatting distance.
+
+use crate::error::ParseError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+/// A validated, registry-style package name.
+///
+/// Names are non-empty, at most 214 bytes (the npm limit, which is the
+/// strictest of the ecosystems studied), lowercase ASCII, and use only
+/// `a-z`, `0-9`, `-`, `_` and `.`, starting with an alphanumeric
+/// character. The name is reference-counted so the simulator can hand the
+/// same name to thousands of graph nodes cheaply.
+///
+/// # Examples
+///
+/// ```
+/// use oss_types::PackageName;
+///
+/// let name: PackageName = "bootstrap-sass".parse()?;
+/// assert_eq!(name.as_str(), "bootstrap-sass");
+/// assert!("".parse::<PackageName>().is_err());
+/// assert!("Has Space".parse::<PackageName>().is_err());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct PackageName(Arc<str>);
+
+/// Maximum package-name length in bytes (the npm registry limit).
+pub const MAX_NAME_LEN: usize = 214;
+
+impl PackageName {
+    /// Validates and constructs a package name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] if the name is empty, too long, or contains
+    /// a character outside `[a-z0-9._-]`, or does not start with an
+    /// alphanumeric character.
+    pub fn new(name: &str) -> Result<Self, ParseError> {
+        if name.is_empty() {
+            return Err(ParseError::new("package name", name, "empty"));
+        }
+        if name.len() > MAX_NAME_LEN {
+            return Err(ParseError::new("package name", name, "longer than 214 bytes"));
+        }
+        let first = name.as_bytes()[0];
+        if !first.is_ascii_lowercase() && !first.is_ascii_digit() {
+            return Err(ParseError::new(
+                "package name",
+                name,
+                "must start with a lowercase letter or digit",
+            ));
+        }
+        if !name
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || matches!(b, b'-' | b'_' | b'.'))
+        {
+            return Err(ParseError::new(
+                "package name",
+                name,
+                "contains a character outside [a-z0-9._-]",
+            ));
+        }
+        Ok(PackageName(Arc::from(name)))
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Levenshtein edit distance to another name.
+    ///
+    /// Used to detect *typosquatting* (a malicious name within a small
+    /// edit distance of a popular legitimate name) and *name-changing*
+    /// operations within a campaign (paper Fig. 12, operation CN).
+    pub fn edit_distance(&self, other: &PackageName) -> usize {
+        levenshtein(self.as_str(), other.as_str())
+    }
+
+    /// Whether this name is a plausible typosquat of `target`: within
+    /// edit distance 2 but not identical.
+    pub fn is_typosquat_of(&self, target: &PackageName) -> bool {
+        self != target && self.edit_distance(target) <= 2
+    }
+}
+
+impl fmt::Display for PackageName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl FromStr for PackageName {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        PackageName::new(s)
+    }
+}
+
+impl AsRef<str> for PackageName {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+/// Levenshtein edit distance between two byte strings, O(|a|·|b|) time and
+/// O(min(|a|,|b|)) space.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let (a, b) = if a.len() < b.len() { (a, b) } else { (b, a) };
+    let a: Vec<u8> = a.bytes().collect();
+    let b: Vec<u8> = b.bytes().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    let mut prev: Vec<usize> = (0..=a.len()).collect();
+    let mut cur = vec![0usize; a.len() + 1];
+    for (j, &bj) in b.iter().enumerate() {
+        cur[0] = j + 1;
+        for (i, &ai) in a.iter().enumerate() {
+            let cost = usize::from(ai != bj);
+            cur[i + 1] = (prev[i] + cost).min(prev[i + 1] + 1).min(cur[i] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[a.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_names_parse() {
+        for name in ["a", "requests", "loglib-modules", "etc-crypto", "lib2.0_x"] {
+            assert!(name.parse::<PackageName>().is_ok(), "{name} should parse");
+        }
+    }
+
+    #[test]
+    fn invalid_names_are_rejected() {
+        for name in ["", "-leading-dash", "UPPER", "has space", ".dot", "emoji💣"] {
+            assert!(
+                name.parse::<PackageName>().is_err(),
+                "{name:?} should be rejected"
+            );
+        }
+        let long = "a".repeat(MAX_NAME_LEN + 1);
+        assert!(long.parse::<PackageName>().is_err());
+        let exactly = "a".repeat(MAX_NAME_LEN);
+        assert!(exactly.parse::<PackageName>().is_ok());
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("requests", "request"), 1);
+        assert_eq!(levenshtein("colors", "colorslib"), 3);
+    }
+
+    #[test]
+    fn levenshtein_is_symmetric() {
+        assert_eq!(levenshtein("pylibsql", "pylibfont"), levenshtein("pylibfont", "pylibsql"));
+    }
+
+    #[test]
+    fn typosquat_detection() {
+        let legit: PackageName = "requests".parse().unwrap();
+        let squat: PackageName = "request".parse().unwrap();
+        let far: PackageName = "numpy".parse().unwrap();
+        assert!(squat.is_typosquat_of(&legit));
+        assert!(!far.is_typosquat_of(&legit));
+        assert!(!legit.is_typosquat_of(&legit), "identical name is not a squat");
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let a: PackageName = "shared".parse().unwrap();
+        let b = a.clone();
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
+    }
+}

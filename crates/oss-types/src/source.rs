@@ -1,0 +1,271 @@
+//! The ten online sources malicious packages are collected from.
+//!
+//! Table I of the paper groups sources into *academia* (published research
+//! datasets), *industry* (commercial security vendors) and *individual*
+//! (blogs / social-network accounts). Each source also has a publication
+//! style — dataset dumps vs. security-report webpages vs. SNS feeds —
+//! which determines which collection path (`crawler`) handles it.
+
+use crate::error::ParseError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Category of an online source (Table I, left column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SourceCategory {
+    /// Research datasets published alongside papers.
+    Academia,
+    /// Commercial security vendors and advisory databases.
+    Industry,
+    /// Individual blogs and social-network accounts.
+    Individual,
+}
+
+impl fmt::Display for SourceCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SourceCategory::Academia => "Academia",
+            SourceCategory::Industry => "Industry",
+            SourceCategory::Individual => "Individual",
+        })
+    }
+}
+
+/// How a source publishes its findings, which selects the collection path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PublicationStyle {
+    /// A downloadable dataset of package archives (Maloss, Mal-PyPI,
+    /// DataDog) — packages are directly *available*.
+    DatasetDump,
+    /// Security-report webpages naming packages but not shipping them
+    /// (Snyk.io, Phylum, Socket, …) — only names/versions are available.
+    ReportPages,
+    /// Short SNS posts naming packages (the `@sscblog`-style accounts).
+    SnsFeed,
+}
+
+/// One of the ten online sources of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SourceId {
+    /// Backstabber's Knife Collection (Ohm et al., 2020).
+    BackstabberKnife,
+    /// The Maloss sample set (Duan et al., 2020).
+    Maloss,
+    /// The Mal-PyPI dataset (Guo et al., 2023).
+    MalPyPI,
+    /// GitHub Security Advisory database.
+    GitHubAdvisory,
+    /// Snyk.io vulnerability database and blog.
+    SnykIo,
+    /// Tianwen software-supply-chain platform (QiAnXin).
+    Tianwen,
+    /// DataDog's malicious-software-packages dataset (GuardDog).
+    DataDog,
+    /// Phylum research blog.
+    Phylum,
+    /// Socket.dev advisories.
+    Socket,
+    /// Aggregated individual blogs and SNS accounts.
+    IndividualBlogs,
+}
+
+impl SourceId {
+    /// All ten sources, in Table I order.
+    pub const ALL: [SourceId; 10] = [
+        SourceId::BackstabberKnife,
+        SourceId::Maloss,
+        SourceId::MalPyPI,
+        SourceId::GitHubAdvisory,
+        SourceId::SnykIo,
+        SourceId::Tianwen,
+        SourceId::DataDog,
+        SourceId::Phylum,
+        SourceId::Socket,
+        SourceId::IndividualBlogs,
+    ];
+
+    /// Full display name as used in Table I.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            SourceId::BackstabberKnife => "Backstabber-Knife",
+            SourceId::Maloss => "Maloss",
+            SourceId::MalPyPI => "Mal-PyPI",
+            SourceId::GitHubAdvisory => "GitHub Advisory",
+            SourceId::SnykIo => "Snyk.io",
+            SourceId::Tianwen => "Tianwen",
+            SourceId::DataDog => "DataDog",
+            SourceId::Phylum => "Phylum",
+            SourceId::Socket => "Socket",
+            SourceId::IndividualBlogs => "SNS/Blogs",
+        }
+    }
+
+    /// Abbreviation used in the Table IV overlap-matrix header.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            SourceId::BackstabberKnife => "B.K",
+            SourceId::Maloss => "M.",
+            SourceId::MalPyPI => "M.D",
+            SourceId::GitHubAdvisory => "G.A",
+            SourceId::SnykIo => "S.i",
+            SourceId::Tianwen => "T.",
+            SourceId::DataDog => "D.D",
+            SourceId::Phylum => "P.",
+            SourceId::Socket => "So.",
+            SourceId::IndividualBlogs => "I.B",
+        }
+    }
+
+    /// Machine-readable slug.
+    pub fn slug(self) -> &'static str {
+        match self {
+            SourceId::BackstabberKnife => "backstabber-knife",
+            SourceId::Maloss => "maloss",
+            SourceId::MalPyPI => "mal-pypi",
+            SourceId::GitHubAdvisory => "github-advisory",
+            SourceId::SnykIo => "snyk-io",
+            SourceId::Tianwen => "tianwen",
+            SourceId::DataDog => "datadog",
+            SourceId::Phylum => "phylum",
+            SourceId::Socket => "socket",
+            SourceId::IndividualBlogs => "individual-blogs",
+        }
+    }
+
+    /// Source category (Table I grouping).
+    pub fn category(self) -> SourceCategory {
+        match self {
+            SourceId::BackstabberKnife | SourceId::Maloss | SourceId::MalPyPI => {
+                SourceCategory::Academia
+            }
+            SourceId::IndividualBlogs => SourceCategory::Individual,
+            _ => SourceCategory::Industry,
+        }
+    }
+
+    /// How the source publishes findings.
+    pub fn publication_style(self) -> PublicationStyle {
+        match self {
+            SourceId::Maloss | SourceId::MalPyPI | SourceId::DataDog => {
+                PublicationStyle::DatasetDump
+            }
+            SourceId::IndividualBlogs => PublicationStyle::SnsFeed,
+            // Backstabber-Knife publishes a package *list*; the archive
+            // itself is access-gated, so it behaves like report pages.
+            _ => PublicationStyle::ReportPages,
+        }
+    }
+
+    /// Update cadence in days between dataset refreshes (Table V);
+    /// `None` means the source never updates after its initial release.
+    pub fn update_interval_days(self) -> Option<u64> {
+        match self {
+            SourceId::BackstabberKnife => None,
+            SourceId::Maloss => Some(90),
+            SourceId::MalPyPI => None,
+            SourceId::DataDog => None,
+            SourceId::GitHubAdvisory => Some(180),
+            SourceId::SnykIo => Some(60),
+            SourceId::Tianwen => Some(60),
+            SourceId::Phylum => Some(30),
+            SourceId::Socket => Some(30),
+            SourceId::IndividualBlogs => Some(120),
+        }
+    }
+
+    /// Update-frequency label printed in Table V.
+    pub fn update_frequency_label(self) -> &'static str {
+        match self.update_interval_days() {
+            None => "Never update",
+            Some(30) => "one per 1 month",
+            Some(60) => "one per 2 month",
+            Some(90) => "one per 3 month",
+            Some(120) => "one per 4 month",
+            Some(180) => "one per 6 month",
+            Some(_) => "irregular",
+        }
+    }
+}
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.display_name())
+    }
+}
+
+impl FromStr for SourceId {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        SourceId::ALL
+            .into_iter()
+            .find(|src| src.slug() == lower)
+            .ok_or_else(|| ParseError::new("source", s, "unknown source"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_distinct_sources() {
+        let mut slugs: Vec<_> = SourceId::ALL.iter().map(|s| s.slug()).collect();
+        slugs.sort_unstable();
+        slugs.dedup();
+        assert_eq!(slugs.len(), 10);
+    }
+
+    #[test]
+    fn slug_round_trips() {
+        for src in SourceId::ALL {
+            assert_eq!(src.slug().parse::<SourceId>().unwrap(), src);
+        }
+    }
+
+    #[test]
+    fn categories_match_table1() {
+        use SourceCategory::*;
+        assert_eq!(SourceId::BackstabberKnife.category(), Academia);
+        assert_eq!(SourceId::Maloss.category(), Academia);
+        assert_eq!(SourceId::MalPyPI.category(), Academia);
+        assert_eq!(SourceId::SnykIo.category(), Industry);
+        assert_eq!(SourceId::Tianwen.category(), Industry);
+        assert_eq!(SourceId::GitHubAdvisory.category(), Industry);
+        assert_eq!(SourceId::IndividualBlogs.category(), Individual);
+    }
+
+    #[test]
+    fn dataset_dumps_are_the_fully_available_sources() {
+        // Table VI: Maloss, Mal-PyPI and DataDog have ~0% missing rate
+        // precisely because they publish archives.
+        for src in [SourceId::Maloss, SourceId::MalPyPI, SourceId::DataDog] {
+            assert_eq!(src.publication_style(), PublicationStyle::DatasetDump);
+        }
+        assert_eq!(
+            SourceId::Phylum.publication_style(),
+            PublicationStyle::ReportPages
+        );
+    }
+
+    #[test]
+    fn update_frequency_labels_match_table5() {
+        assert_eq!(
+            SourceId::BackstabberKnife.update_frequency_label(),
+            "Never update"
+        );
+        assert_eq!(SourceId::Maloss.update_frequency_label(), "one per 3 month");
+        assert_eq!(SourceId::Phylum.update_frequency_label(), "one per 1 month");
+        assert_eq!(SourceId::SnykIo.update_frequency_label(), "one per 2 month");
+    }
+
+    #[test]
+    fn abbrevs_are_unique() {
+        let mut abbrevs: Vec<_> = SourceId::ALL.iter().map(|s| s.abbrev()).collect();
+        abbrevs.sort_unstable();
+        abbrevs.dedup();
+        assert_eq!(abbrevs.len(), 10);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the domain types.
+
+use oss_types::hash::Sha256Hasher;
+use oss_types::{ChangeOp, OpSet, PackageId, Sha256, SimDuration, SimTime, Version};
+use proptest::prelude::*;
+
+fn arb_version() -> impl Strategy<Value = Version> {
+    (0u32..50, 0u32..50, 0u32..50).prop_map(|(a, b, c)| Version::new(a, b, c))
+}
+
+proptest! {
+    #[test]
+    fn version_display_parse_round_trip(v in arb_version()) {
+        let parsed: Version = v.to_string().parse().expect("display is parseable");
+        prop_assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn version_ordering_matches_tuple_ordering(a in arb_version(), b in arb_version()) {
+        let ta = (a.major(), a.minor(), a.patch());
+        let tb = (b.major(), b.minor(), b.patch());
+        prop_assert_eq!(a.cmp(&b), ta.cmp(&tb));
+    }
+
+    #[test]
+    fn version_bumps_strictly_increase(v in arb_version()) {
+        prop_assert!(v.bump_patch() > v);
+        prop_assert!(v.bump_minor() > v);
+        prop_assert!(v.bump_major() > v.bump_minor());
+    }
+
+    #[test]
+    fn package_id_round_trips(
+        name in "[a-z][a-z0-9-]{0,20}",
+        v in arb_version(),
+        eco_idx in 0usize..10,
+    ) {
+        let eco = oss_types::Ecosystem::ALL[eco_idx];
+        let id = PackageId::new(eco, name.parse().unwrap(), v);
+        let parsed: PackageId = id.to_string().parse().expect("round trip");
+        prop_assert_eq!(parsed, id);
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
+        let split = split.min(data.len());
+        let mut h = Sha256Hasher::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn sha256_is_injective_on_small_perturbations(data in proptest::collection::vec(any::<u8>(), 1..128), flip in 0usize..128) {
+        let flip = flip.min(data.len() - 1);
+        let mut other = data.clone();
+        other[flip] ^= 0xff;
+        prop_assert_ne!(Sha256::digest(&data), Sha256::digest(&other));
+    }
+
+    #[test]
+    fn opset_behaves_like_a_set(ops in proptest::collection::vec(0usize..5, 0..12)) {
+        let mut set = OpSet::empty();
+        let mut reference = std::collections::BTreeSet::new();
+        for &i in &ops {
+            let op = ChangeOp::ALL[i];
+            prop_assert_eq!(set.insert(op), reference.insert(op));
+        }
+        prop_assert_eq!(set.len(), reference.len());
+        for op in ChangeOp::ALL {
+            prop_assert_eq!(set.contains(op), reference.contains(&op));
+        }
+        let collected: Vec<ChangeOp> = set.iter().collect();
+        prop_assert_eq!(collected.len(), set.len());
+    }
+
+    #[test]
+    fn simtime_addition_is_associative(base in 0u64..3_000_000, a in 0u64..100_000, b in 0u64..100_000) {
+        let t = SimTime::from_minutes(base);
+        let left = (t + SimDuration::minutes(a)) + SimDuration::minutes(b);
+        let right = t + (SimDuration::minutes(a) + SimDuration::minutes(b));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn simtime_since_inverts_addition(base in 0u64..3_000_000, d in 0u64..500_000) {
+        let t = SimTime::from_minutes(base);
+        let later = t + SimDuration::minutes(d);
+        prop_assert_eq!((later - t).as_minutes(), d);
+        prop_assert_eq!((t - later).as_minutes(), 0, "saturating backwards");
+    }
+
+    #[test]
+    fn calendar_ordering_matches_minute_ordering(a in 0u64..4_000_000, b in 0u64..4_000_000) {
+        let (ta, tb) = (SimTime::from_minutes(a), SimTime::from_minutes(b));
+        prop_assert_eq!(ta.cmp(&tb), a.cmp(&b));
+        if a <= b {
+            let (ya, ma, da) = ta.to_ymd();
+            let (yb, mb, db) = tb.to_ymd();
+            prop_assert!((ya, ma, da) <= (yb, mb, db));
+        }
+    }
+}

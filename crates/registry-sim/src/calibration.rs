@@ -1,0 +1,385 @@
+//! Calibration constants derived from the paper's published aggregates.
+//!
+//! The authors' corpus is scraped from proprietary sources we cannot
+//! access, so the simulator is calibrated to the *published* numbers and
+//! the analyses must recover them — which is exactly the measurement the
+//! paper performs. Everything here is data, taken from:
+//!
+//! * Table I / Table VI — per-source mention totals and missing rates;
+//! * Table IV — pairwise source overlaps (the duplicated structure);
+//! * Table III — the security-report corpus by website category;
+//! * Table VII — group counts and mean sizes per ecosystem;
+//! * Fig. 2 — release-timeline year weights;
+//! * Fig. 12 — changing-operation frequencies.
+
+use oss_types::{Ecosystem, SourceId};
+
+/// Per-source mention totals (Table IV header row / Table VI totals).
+pub const SOURCE_TOTALS: [(SourceId, usize); 10] = [
+    (SourceId::BackstabberKnife, 4953),
+    (SourceId::Maloss, 1346),
+    (SourceId::MalPyPI, 2915),
+    (SourceId::GitHubAdvisory, 179),
+    (SourceId::SnykIo, 1545),
+    (SourceId::Tianwen, 3201),
+    (SourceId::DataDog, 1397),
+    (SourceId::Phylum, 7311),
+    (SourceId::Socket, 664),
+    (SourceId::IndividualBlogs, 62),
+];
+
+/// Pairwise overlaps from Table IV (upper triangle, zero pairs omitted).
+pub const PAIR_OVERLAPS: [(SourceId, SourceId, usize); 17] = [
+    (SourceId::BackstabberKnife, SourceId::Maloss, 50),
+    (SourceId::BackstabberKnife, SourceId::MalPyPI, 1348),
+    (SourceId::BackstabberKnife, SourceId::GitHubAdvisory, 102),
+    (SourceId::BackstabberKnife, SourceId::SnykIo, 502),
+    (SourceId::BackstabberKnife, SourceId::Tianwen, 14),
+    (SourceId::BackstabberKnife, SourceId::DataDog, 79),
+    (SourceId::BackstabberKnife, SourceId::Phylum, 385),
+    (SourceId::BackstabberKnife, SourceId::IndividualBlogs, 20),
+    (SourceId::Maloss, SourceId::MalPyPI, 310),
+    (SourceId::Maloss, SourceId::SnykIo, 128),
+    (SourceId::Maloss, SourceId::Tianwen, 68),
+    (SourceId::Maloss, SourceId::Phylum, 23),
+    (SourceId::Maloss, SourceId::IndividualBlogs, 2),
+    (SourceId::MalPyPI, SourceId::Tianwen, 6),
+    (SourceId::MalPyPI, SourceId::DataDog, 17),
+    (SourceId::MalPyPI, SourceId::Phylum, 243),
+    (SourceId::GitHubAdvisory, SourceId::IndividualBlogs, 2),
+];
+
+/// Remaining Table IV pairs (industry↔industry, mostly nonzero).
+pub const PAIR_OVERLAPS_INDUSTRY: [(SourceId, SourceId, usize); 4] = [
+    (SourceId::SnykIo, SourceId::Tianwen, 244),
+    (SourceId::SnykIo, SourceId::Phylum, 16),
+    (SourceId::Tianwen, SourceId::Phylum, 539),
+    (SourceId::Tianwen, SourceId::Socket, 4),
+];
+
+/// Tianwen↔DataDog, Phylum↔DataDog from Table IV.
+pub const PAIR_OVERLAPS_REST: [(SourceId, SourceId, usize); 1] =
+    [(SourceId::DataDog, SourceId::Phylum, 12)];
+
+/// Higher-order overlap blocks: packages reported by ≥3 sources. Table IV
+/// only publishes pairwise counts; these triples are carved out of the
+/// largest pairwise overlaps so that Fig. 4's multi-source tail exists
+/// while the pairwise matrix stays (approximately) intact. A triple of
+/// size `t` contributes `t` to each of its three pairwise cells, so the
+/// corresponding [`PAIR_OVERLAPS`] entries are reduced by `t` at build
+/// time.
+pub const TRIPLE_OVERLAPS: [(SourceId, SourceId, SourceId, usize); 3] = [
+    (
+        SourceId::BackstabberKnife,
+        SourceId::MalPyPI,
+        SourceId::Phylum,
+        150,
+    ),
+    (
+        SourceId::BackstabberKnife,
+        SourceId::Maloss,
+        SourceId::MalPyPI,
+        30,
+    ),
+    (SourceId::SnykIo, SourceId::Tianwen, SourceId::Phylum, 10),
+];
+
+/// Target single-source missing rates (Table VI), in percent.
+pub fn single_missing_rate_pct(source: SourceId) -> f64 {
+    match source {
+        SourceId::BackstabberKnife => 79.31,
+        SourceId::Maloss => 0.22,
+        SourceId::MalPyPI => 0.0,
+        SourceId::GitHubAdvisory => 92.74,
+        SourceId::SnykIo => 75.2,
+        SourceId::Tianwen => 55.4,
+        SourceId::DataDog => 0.0,
+        SourceId::Phylum => 91.2,
+        SourceId::Socket => 100.0,
+        SourceId::IndividualBlogs => 95.16,
+    }
+}
+
+/// Ecosystem share of distinct malicious packages. PyPI and NPM dominate
+/// the corpus (paper §II-C); the seven minor ecosystems share ~3%.
+pub const ECOSYSTEM_SHARES: [(Ecosystem, f64); 10] = [
+    (Ecosystem::PyPI, 0.55),
+    (Ecosystem::Npm, 0.37),
+    (Ecosystem::RubyGems, 0.05),
+    (Ecosystem::Maven, 0.008),
+    (Ecosystem::Cocoapods, 0.004),
+    (Ecosystem::SourceForge, 0.004),
+    (Ecosystem::Docker, 0.005),
+    (Ecosystem::Composer, 0.004),
+    (Ecosystem::NuGet, 0.003),
+    (Ecosystem::Rust, 0.002),
+];
+
+/// Release-timeline weights per year (Fig. 2 shape: slow start, steep
+/// growth through 2022–2023, partial 2024).
+pub const YEAR_WEIGHTS: [(i32, f64); 7] = [
+    (2018, 0.02),
+    (2019, 0.04),
+    (2020, 0.08),
+    (2021, 0.12),
+    (2022, 0.25),
+    (2023, 0.40),
+    (2024, 0.09),
+];
+
+/// Similar-campaign (SG) targets per ecosystem: `(groups, mean size)`
+/// from Table VII.
+pub fn sg_targets(eco: Ecosystem) -> Option<(usize, f64)> {
+    match eco {
+        Ecosystem::Npm => Some((76, 17.78)),
+        Ecosystem::PyPI => Some((36, 137.17)),
+        Ecosystem::RubyGems => Some((4, 7.75)),
+        _ => None,
+    }
+}
+
+/// Dependency-campaign (DeG) targets per ecosystem from Table VII.
+pub fn deg_targets(eco: Ecosystem) -> Option<(usize, f64)> {
+    match eco {
+        Ecosystem::Npm => Some((11, 2.36)),
+        Ecosystem::PyPI => Some((1, 2.0)),
+        _ => None,
+    }
+}
+
+/// Reported-campaign (CG) targets per ecosystem from Table VII.
+pub fn cg_targets(eco: Ecosystem) -> Option<(usize, f64)> {
+    match eco {
+        Ecosystem::Npm => Some((50, 46.1)),
+        Ecosystem::PyPI => Some((26, 22.69)),
+        Ecosystem::RubyGems => Some((6, 7.67)),
+        _ => None,
+    }
+}
+
+/// Security-report website corpus by category (Table III):
+/// `(category name, websites, reports)`.
+pub const REPORT_SOURCES: [(&str, usize, usize); 6] = [
+    ("Technical Community", 16, 516),
+    ("Commercial org.", 15, 545),
+    ("News", 4, 143),
+    ("Individual", 3, 95),
+    ("Official", 1, 24),
+    ("Other", 29, 43),
+];
+
+/// Fig. 12 — the operation distribution the paper *measured*, in percent.
+/// The evolution analysis must land near these.
+pub const PAPER_OP_PCT: [(&str, f64); 5] = [
+    ("CN", 98.92),
+    ("CV", 1.08),
+    ("CD", 35.0), // not printed numerically in the paper; mid-range bar
+    ("CDep", 2.0),
+    ("CC", 39.76),
+];
+
+/// Changing-operation *generation* frequencies per re-release attempt.
+/// These are slightly below the Fig.-12 targets on purpose: the analysis
+/// diffs consecutive *available* packages, so a mirror-lost member makes
+/// one detected diff carry two generated operations. The values here are
+/// calibrated so the *detected* distribution matches [`PAPER_OP_PCT`].
+pub const OP_FREQUENCIES: OpFrequencies = OpFrequencies {
+    change_name: 0.98,
+    change_version: 0.02,
+    change_description: 0.20,
+    change_dependency: 0.01,
+    change_code: 0.25,
+};
+
+/// Probabilities of the five changing operations per re-release attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct OpFrequencies {
+    /// CN probability; its complement is CV-only (re-version the same
+    /// name, possible only while the old release is undetected).
+    pub change_name: f64,
+    /// CV probability.
+    pub change_version: f64,
+    /// CD probability.
+    pub change_description: f64,
+    /// CDep probability.
+    pub change_dependency: f64,
+    /// CC probability.
+    pub change_code: f64,
+}
+
+/// Mean changed source lines for a CC operation (paper: "around 3.7").
+pub const CC_MEAN_CHANGED_LINES: f64 = 3.7;
+
+/// Builds the scaled *mention block* list: every entry is a set of
+/// sources that jointly report one distinct package, with multiplicity.
+/// At `scale = 1.0` the blocks reproduce Table IV exactly (up to the
+/// documented triple carve-outs) and sum to the Table I totals.
+pub fn mention_blocks(scale: f64) -> Vec<Vec<SourceId>> {
+    assert!(scale > 0.0, "scale must be positive");
+    let scaled = |n: usize| -> usize { ((n as f64 * scale).round() as usize).max(1) };
+
+    let mut blocks: Vec<Vec<SourceId>> = Vec::new();
+    // Triples first, so we can subtract them from the pairwise cells.
+    let mut pair_reduction: std::collections::HashMap<(SourceId, SourceId), usize> =
+        std::collections::HashMap::new();
+    for &(a, b, c, t) in &TRIPLE_OVERLAPS {
+        let t_scaled = scaled(t);
+        for _ in 0..t_scaled {
+            blocks.push(vec![a, b, c]);
+        }
+        for pair in [(a, b), (a, c), (b, c)] {
+            *pair_reduction.entry(pair).or_default() += t;
+        }
+    }
+
+    let mut per_source_multi: std::collections::HashMap<SourceId, usize> =
+        std::collections::HashMap::new();
+    for &(a, b, c, t) in &TRIPLE_OVERLAPS {
+        for s in [a, b, c] {
+            *per_source_multi.entry(s).or_default() += t;
+        }
+    }
+
+    let all_pairs = PAIR_OVERLAPS
+        .iter()
+        .chain(PAIR_OVERLAPS_INDUSTRY.iter())
+        .chain(PAIR_OVERLAPS_REST.iter());
+    for &(a, b, n) in all_pairs {
+        let reduced = n.saturating_sub(pair_reduction.get(&(a, b)).copied().unwrap_or(0));
+        if reduced == 0 {
+            continue;
+        }
+        let count = scaled(reduced);
+        for _ in 0..count {
+            blocks.push(vec![a, b]);
+        }
+        *per_source_multi.entry(a).or_default() += reduced;
+        *per_source_multi.entry(b).or_default() += reduced;
+    }
+
+    for &(source, total) in &SOURCE_TOTALS {
+        let used = per_source_multi.get(&source).copied().unwrap_or(0);
+        let singles = total.saturating_sub(used);
+        let count = scaled(singles);
+        for _ in 0..count {
+            blocks.push(vec![source]);
+        }
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn full_scale_blocks_reproduce_source_totals() {
+        let blocks = mention_blocks(1.0);
+        let mut totals: HashMap<SourceId, usize> = HashMap::new();
+        for block in &blocks {
+            for &s in block {
+                *totals.entry(s).or_default() += 1;
+            }
+        }
+        for &(source, expected) in &SOURCE_TOTALS {
+            let got = totals.get(&source).copied().unwrap_or(0);
+            let diff = got.abs_diff(expected);
+            assert!(
+                diff <= 2,
+                "{source}: got {got}, expected {expected} (Table I/IV)"
+            );
+        }
+    }
+
+    #[test]
+    fn full_scale_blocks_reproduce_pairwise_overlaps() {
+        let blocks = mention_blocks(1.0);
+        let mut pairs: HashMap<(SourceId, SourceId), usize> = HashMap::new();
+        for block in &blocks {
+            for i in 0..block.len() {
+                for j in (i + 1)..block.len() {
+                    let key = if block[i] <= block[j] {
+                        (block[i], block[j])
+                    } else {
+                        (block[j], block[i])
+                    };
+                    *pairs.entry(key).or_default() += 1;
+                }
+            }
+        }
+        for &(a, b, expected) in PAIR_OVERLAPS
+            .iter()
+            .chain(PAIR_OVERLAPS_INDUSTRY.iter())
+            .chain(PAIR_OVERLAPS_REST.iter())
+        {
+            let key = if a <= b { (a, b) } else { (b, a) };
+            let got = pairs.get(&key).copied().unwrap_or(0);
+            assert!(
+                got.abs_diff(expected) <= 2,
+                "overlap {a}↔{b}: got {got}, expected {expected} (Table IV)"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_source_blocks_exist_for_fig4_tail() {
+        let blocks = mention_blocks(1.0);
+        let singles = blocks.iter().filter(|b| b.len() == 1).count();
+        let triples = blocks.iter().filter(|b| b.len() >= 3).count();
+        assert!(triples > 0, "Fig. 4 needs a ≥3-source tail");
+        let frac_single = singles as f64 / blocks.len() as f64;
+        assert!(
+            frac_single > 0.70,
+            "most packages are single-source (Fig. 4: ~80%), got {frac_single:.2}"
+        );
+    }
+
+    #[test]
+    fn downscaled_blocks_keep_every_source() {
+        let blocks = mention_blocks(0.05);
+        for &(source, _) in &SOURCE_TOTALS {
+            assert!(
+                blocks.iter().any(|b| b.contains(&source)),
+                "{source} lost at small scale"
+            );
+        }
+        assert!(blocks.len() < mention_blocks(1.0).len() / 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_panics() {
+        mention_blocks(0.0);
+    }
+
+    #[test]
+    fn ecosystem_shares_sum_to_one() {
+        let total: f64 = ECOSYSTEM_SHARES.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");
+    }
+
+    #[test]
+    fn year_weights_sum_to_one() {
+        let total: f64 = YEAR_WEIGHTS.iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn op_frequencies_are_consistent() {
+        assert!(
+            (OP_FREQUENCIES.change_name + OP_FREQUENCIES.change_version - 1.0).abs() < 1e-9,
+            "CN and CV are complements: every re-release changes one or the other"
+        );
+        // Generation stays below the detected Fig. 12 targets (see the
+        // constant's doc comment for why). Read through a binding so the
+        // relationship is checked against the live constant.
+        let freq = OP_FREQUENCIES;
+        let cc_target = PAPER_OP_PCT[4].1;
+        let cd_target = PAPER_OP_PCT[2].1;
+        assert!(freq.change_code * 100.0 <= cc_target);
+        assert!(freq.change_description * 100.0 <= cd_target);
+        let cn_target = PAPER_OP_PCT[0].1;
+        assert!((98.0..=100.0).contains(&cn_target));
+    }
+}

@@ -1,0 +1,52 @@
+//! The simulated "wild": an OSS-ecosystem world generator.
+//!
+//! The paper measures a corpus scraped from proprietary online sources —
+//! a hard data gate for any reproduction. This crate substitutes a
+//! mechanistic simulator whose *published aggregates* match the paper's
+//! (see `calibration`), so the downstream pipeline (collection → MALGRAPH
+//! → analyses) runs on data with the same statistical structure:
+//!
+//! * [`campaign`] — adversaries run attack campaigns through the paper's
+//!   life cycle {changing → release → detection → removal} (Fig. 6/10),
+//!   in four strategies: similar re-release, dependency hiding, flood
+//!   registration, and trojaned popular packages;
+//! * [`mirror`] — mirror registries lag the root registry; the race
+//!   between sync cadence and removal decides recoverability (Fig. 5);
+//! * [`report`] — security websites publish HTML reports naming package
+//!   groups (Table III), the evidence for co-existing edges;
+//! * [`world`] — assembles packages, source mentions (Tables I/IV/VI),
+//!   reports, and mirrors into one deterministic [`world::World`].
+//!
+//! Everything is seeded ([`config::WorldConfig::seed`]); no wall clock,
+//! no network.
+//!
+//! # Examples
+//!
+//! ```
+//! use registry_sim::{World, WorldConfig};
+//!
+//! let world = World::generate(WorldConfig::small(7));
+//! assert!(!world.packages.is_empty());
+//! assert!(!world.mentions.is_empty());
+//! assert!(world.mentions.len() >= world.dataset_candidates().len() / 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod campaign;
+pub mod config;
+pub mod downloads;
+pub mod mirror;
+pub mod names;
+pub mod package;
+pub mod report;
+pub mod world;
+
+pub use campaign::{Campaign, CampaignKind};
+pub use config::WorldConfig;
+pub use mirror::{Mirror, MirrorFleet};
+pub use package::{CampaignIdx, PkgIdx, SimPackage, UnavailCause};
+pub use report::{ReportCategory, SecurityReport, Website};
+pub use world::{Mention, World};

@@ -1,0 +1,136 @@
+//! Property-based tests for the simulator's mirror mechanics and name
+//! generation — the machinery behind Fig. 5 and the CN operation.
+
+use oss_types::{Ecosystem, SimDuration, SimTime};
+use proptest::prelude::*;
+use registry_sim::mirror::Mirror;
+use registry_sim::names::NameGenerator;
+use registry_sim::MirrorFleet;
+
+fn arb_mirror() -> impl Strategy<Value = Mirror> {
+    (1u64..200, 0u64..200, 1u64..1000).prop_map(|(interval_h, phase_h, retention_d)| Mirror {
+        ecosystem: Ecosystem::PyPI,
+        name: "prop".into(),
+        sync_interval: SimDuration::hours(interval_h),
+        phase: SimDuration::hours(phase_h),
+        retention: SimDuration::days(retention_d),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn next_sync_is_never_before_query_and_is_aligned(
+        m in arb_mirror(),
+        t in 0u64..4_000_000u64,
+    ) {
+        let t = SimTime::from_minutes(t);
+        let sync = m.next_sync_at(t);
+        prop_assert!(sync >= t);
+        let interval = m.sync_interval.as_minutes();
+        let phase = m.phase.as_minutes() % interval;
+        prop_assert_eq!((sync.as_minutes() - phase) % interval, 0);
+        // Minimality: one interval earlier would be before `t`.
+        prop_assert!(sync.as_minutes() < t.as_minutes() + interval);
+    }
+
+    #[test]
+    fn capture_requires_a_sync_inside_the_window(
+        m in arb_mirror(),
+        release in 0u64..2_000_000u64,
+        persistence in 1u64..400_000u64,
+    ) {
+        let release = SimTime::from_minutes(release);
+        let removed = release + SimDuration::minutes(persistence);
+        match m.capture_time(release, Some(removed)) {
+            Some(capture) => {
+                prop_assert!(capture >= release);
+                prop_assert!(capture < removed);
+            }
+            None => {
+                // No sync event fell inside [release, removed).
+                let sync = m.next_sync_at(release);
+                prop_assert!(sync >= removed);
+            }
+        }
+    }
+
+    #[test]
+    fn persistence_longer_than_interval_guarantees_capture(
+        m in arb_mirror(),
+        release in 0u64..2_000_000u64,
+    ) {
+        let release = SimTime::from_minutes(release);
+        let removed = release + m.sync_interval + SimDuration::minutes(1);
+        prop_assert!(m.capture_time(release, Some(removed)).is_some());
+    }
+
+    #[test]
+    fn holding_is_monotone_in_retention(
+        release in 0u64..2_000_000u64,
+        persistence in 60u64..200_000u64,
+        query_offset in 0u64..2_000_000u64,
+        interval_h in 1u64..200,
+        short_d in 1u64..400,
+        extra_d in 1u64..400,
+    ) {
+        let release = SimTime::from_minutes(release);
+        let removed = release + SimDuration::minutes(persistence);
+        let query = removed + SimDuration::minutes(query_offset);
+        let mk = |retention_d: u64| Mirror {
+            ecosystem: Ecosystem::Npm,
+            name: "prop".into(),
+            sync_interval: SimDuration::hours(interval_h),
+            phase: SimDuration::ZERO,
+            retention: SimDuration::days(retention_d),
+        };
+        let short = mk(short_d);
+        let long = mk(short_d + extra_d);
+        // A longer retention can only keep *more* packages available.
+        if short.holds(release, Some(removed), query) {
+            prop_assert!(long.holds(release, Some(removed), query));
+        }
+    }
+
+    #[test]
+    fn fleet_holds_iff_some_member_holds(
+        release in 0u64..2_000_000u64,
+        persistence in 1u64..400_000u64,
+        query_offset in 0u64..2_000_000u64,
+    ) {
+        let fleet = MirrorFleet::paper_fleet(365);
+        let release = SimTime::from_minutes(release);
+        let removed = release + SimDuration::minutes(persistence);
+        let query = removed + SimDuration::minutes(query_offset);
+        for eco in Ecosystem::MAJOR {
+            let any = fleet.any_holds(eco, release, Some(removed), query);
+            let member = fleet
+                .for_ecosystem(eco)
+                .any(|m| m.holds(release, Some(removed), query));
+            prop_assert_eq!(any, member);
+        }
+    }
+
+    #[test]
+    fn generated_names_are_always_valid_and_unique(seed in 0u64..500, n in 1usize..60) {
+        use rand::SeedableRng;
+        let mut gen = NameGenerator::new(seed * 1000);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut seen = std::collections::HashSet::new();
+        let mut prev = gen.fresh(&mut rng);
+        seen.insert(prev.clone());
+        for i in 0..n {
+            let next = if i % 3 == 0 {
+                gen.fresh(&mut rng)
+            } else {
+                gen.sibling(&prev, &mut rng)
+            };
+            // PackageName construction validates; uniqueness must hold.
+            prop_assert!(seen.insert(next.clone()), "duplicate {}", next);
+            // Sibling chains must not grow without bound.
+            prop_assert!(next.as_str().len() <= 64, "name too long: {}", next);
+            prev = next;
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! MALGRAPH reproduction — facade crate.
+//!
+//! One `use malgraph::…` away from the whole workspace:
+//!
+//! * [`registry_sim`] — the simulated OSS "wild" (campaigns, registries,
+//!   mirrors, security reports), calibrated to the paper's aggregates;
+//! * [`crawler`] — the collection pipeline (feeds → parse → merge →
+//!   mirror recovery → corpus);
+//! * [`malgraph_core`] — the knowledge graph (four relations, subgraph
+//!   groups) and the RQ1–RQ4 analyses;
+//! * substrates: [`oss_types`], [`minilang`], [`embed`], [`cluster`],
+//!   [`graphstore`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use malgraph::prelude::*;
+//!
+//! let world = World::generate(WorldConfig::small(7));
+//! let corpus = collect(&world);
+//! let graph = build(&corpus, &BuildOptions::default());
+//! println!("{} packages in {} similar groups",
+//!          corpus.packages.len(),
+//!          graph.groups(Relation::Similar).len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cluster;
+pub use crawler;
+pub use detector;
+pub use embed;
+pub use graphstore;
+pub use malgraph_core;
+pub use minilang;
+pub use oss_types;
+pub use registry_sim;
+
+/// The most common imports for working with the reproduction.
+pub mod prelude {
+    pub use crawler::{collect, CollectedDataset, RegistryView};
+    pub use malgraph_core::{build, BuildOptions, MalGraph, Relation, SimilarityConfig};
+    pub use oss_types::{ChangeOp, Ecosystem, PackageId, SimDuration, SimTime, SourceId};
+    pub use registry_sim::{CampaignKind, World, WorldConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_wires_the_pipeline() {
+        let world = World::generate(WorldConfig::small(99));
+        let corpus = collect(&world);
+        let graph = build(&corpus, &BuildOptions::default());
+        assert!(graph.graph.node_count() >= corpus.packages.len());
+    }
+}

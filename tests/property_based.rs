@@ -1,0 +1,181 @@
+//! Property-based tests (proptest) on the core invariants:
+//! parse∘print = id over generated programs, embedding determinism and
+//! bounds, component semantics, diff metric properties, CDF monotonicity.
+
+use malgraph::cluster::metrics::adjusted_rand_index;
+use malgraph::embed::Embedder;
+use malgraph::graphstore::unionfind::UnionFind;
+use malgraph::minilang::diff::diff_lines;
+use malgraph::minilang::gen::{generate, mutate, Behavior, Mutation};
+use malgraph::minilang::printer::print_module;
+use malgraph::minilang::{canon::canonicalize, parse};
+use malgraph::oss_types::{name::levenshtein, SimDuration, SimTime};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arbitrary_module() -> impl Strategy<Value = malgraph::minilang::Module> {
+    // Drive the generator (which emits every language construct) from a
+    // proptest-chosen seed, behaviour and mutation chain — giving a rich,
+    // shrinkable space of valid programs.
+    (
+        any::<u64>(),
+        0usize..Behavior::ALL.len(),
+        proptest::collection::vec(0usize..Mutation::ALL.len(), 0..6),
+    )
+        .prop_map(|(seed, behavior, mutations)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut module = generate(Behavior::ALL[behavior], &mut rng);
+            for m in mutations {
+                module = mutate(&module, Mutation::ALL[m], &mut rng);
+            }
+            module
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn print_parse_round_trips(module in arbitrary_module()) {
+        let printed = print_module(&module);
+        let reparsed = parse(&printed).expect("printer output must parse");
+        prop_assert_eq!(&module, &reparsed);
+        // And printing is a fixed point.
+        prop_assert_eq!(print_module(&reparsed), printed);
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent_and_parseable(module in arbitrary_module()) {
+        let once = canonicalize(&module);
+        let twice = canonicalize(&once);
+        prop_assert_eq!(print_module(&once), print_module(&twice));
+        prop_assert!(parse(&print_module(&once)).is_ok());
+    }
+
+    #[test]
+    fn embedding_is_unit_norm_and_deterministic(module in arbitrary_module()) {
+        let embedder = Embedder::new(128);
+        let a = embedder.embed(&module);
+        let b = embedder.embed(&module);
+        prop_assert_eq!(&a, &b);
+        let norm = a.norm();
+        prop_assert!((norm - 1.0).abs() < 1e-4 || norm == 0.0, "norm {}", norm);
+        prop_assert!((a.cosine(&b) - 1.0).abs() < 1e-4 || norm == 0.0);
+    }
+
+    #[test]
+    fn diff_is_a_pseudometric(
+        a in proptest::collection::vec("[a-z]{0,6}", 0..20),
+        b in proptest::collection::vec("[a-z]{0,6}", 0..20),
+    ) {
+        let ab = diff_lines(&a, &b);
+        let ba = diff_lines(&b, &a);
+        // Symmetry of changed lines, identity of indiscernibles.
+        prop_assert_eq!(ab.changed_lines(), ba.changed_lines());
+        prop_assert_eq!(ab.common, ba.common);
+        let aa = diff_lines(&a, &a);
+        prop_assert!(aa.is_identical());
+        // The LCS never exceeds either side.
+        prop_assert!(ab.common <= a.len() && ab.common <= b.len());
+        prop_assert_eq!(ab.removed + ab.common, a.len());
+        prop_assert_eq!(ab.added + ab.common, b.len());
+    }
+
+    #[test]
+    fn levenshtein_triangle_inequality(
+        a in "[a-z]{0,12}",
+        b in "[a-z]{0,12}",
+        c in "[a-z]{0,12}",
+    ) {
+        let ab = levenshtein(&a, &b);
+        let bc = levenshtein(&b, &c);
+        let ac = levenshtein(&a, &c);
+        prop_assert!(ac <= ab + bc, "d(a,c)={ac} > d(a,b)+d(b,c)={}", ab + bc);
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(ab, levenshtein(&b, &a));
+    }
+
+    #[test]
+    fn union_find_components_are_equivalence_classes(
+        edges in proptest::collection::vec((0usize..40, 0usize..40), 0..80)
+    ) {
+        let mut uf = UnionFind::new(40);
+        for &(a, b) in &edges {
+            uf.union(a, b);
+        }
+        // Reflexive+symmetric+transitive: grouping by representative is a
+        // partition, and every edge's endpoints share a class.
+        for &(a, b) in &edges {
+            prop_assert!(uf.connected(a, b));
+        }
+        let mut class_sizes = std::collections::HashMap::new();
+        for i in 0..40 {
+            *class_sizes.entry(uf.find(i)).or_insert(0usize) += 1;
+        }
+        prop_assert_eq!(class_sizes.values().sum::<usize>(), 40);
+        prop_assert_eq!(class_sizes.len(), uf.component_count());
+    }
+
+    #[test]
+    fn ari_bounds_and_permutation_invariance(
+        labels in proptest::collection::vec(0usize..4, 2..40),
+        perm_offset in 1usize..4,
+    ) {
+        let permuted: Vec<usize> = labels.iter().map(|&l| (l + perm_offset) % 4).collect();
+        let ari = adjusted_rand_index(&labels, &permuted);
+        prop_assert!((ari - 1.0).abs() < 1e-9, "relabeling must keep ARI at 1, got {ari}");
+        let other: Vec<usize> = labels.iter().rev().copied().collect();
+        let cross = adjusted_rand_index(&labels, &other);
+        prop_assert!(cross <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn sandbox_never_panics_and_traces_malware(module in arbitrary_module()) {
+        use malgraph::minilang::interp::{run, InterpConfig, Outcome};
+        let trace = run(&module, &InterpConfig { fuel: 5_000 });
+        // Generated malware always wraps its hook in try/except, so the
+        // run must not die on an uncaught error…
+        prop_assert_ne!(trace.outcome, Outcome::Error, "error: {:?}", trace.error);
+        // …and the payload always leaves at least one observable effect.
+        prop_assert!(!trace.effects.is_empty());
+        prop_assert!(trace.steps <= 5_000);
+    }
+
+    #[test]
+    fn static_scan_is_threshold_monotone(module in arbitrary_module(), t in 0.0f64..20.0) {
+        use malgraph::detector::StaticDetector;
+        let loose = StaticDetector::new(t).scan(&module, None);
+        let strict = StaticDetector::new(t + 1.0).scan(&module, None);
+        prop_assert_eq!(&loose.matched, &strict.matched);
+        if strict.malicious {
+            prop_assert!(loose.malicious, "raising the threshold cannot add detections");
+        }
+    }
+
+    #[test]
+    fn simtime_ymd_roundtrip(minutes in 0u64..(8 * 366 * 24 * 60)) {
+        let t = SimTime::from_minutes(minutes);
+        let (y, m, d) = t.to_ymd();
+        let back = SimTime::from_ymd(y, m, d);
+        // Dropping the time-of-day loses at most one day of minutes.
+        prop_assert!(t.since(back) < SimDuration::days(1));
+        prop_assert!(back <= t);
+    }
+
+    #[test]
+    fn duration_cdf_is_monotone(
+        mut days in proptest::collection::vec(0u64..4000, 1..60)
+    ) {
+        use malgraph::malgraph_core::analysis::campaign::period_cdf;
+        days.sort_unstable();
+        let durations: Vec<SimDuration> = days.iter().map(|&d| SimDuration::days(d)).collect();
+        let cdf = period_cdf(&durations);
+        prop_assert!(!cdf.is_empty());
+        for pair in cdf.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0);
+            prop_assert!(pair[0].1 <= pair[1].1);
+        }
+        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+}
