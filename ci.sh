@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Local CI gate: lint-clean and test-green across the whole workspace.
+#
+#   ./ci.sh            # clippy (deny warnings) + full test suite
+#   ./ci.sh --release  # additionally checks the release build
+#
+# Keep this the single source of truth for "is the tree healthy" — the
+# same two commands the PR driver runs.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" == "--release" ]]; then
+    echo "== cargo build --release"
+    cargo build --release
+fi
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "CI OK"

@@ -3,6 +3,8 @@
 //! * embedding dimensionality (cost side; the quality side is reported by
 //!   the `repro validation` section);
 //! * auto-k schedule: the paper's k→k+1 growth vs. the geometric speed-up;
+//! * K-Means engine: cold-restart grow-k (seed behavior) vs. the
+//!   warm-started parallel engine;
 //! * similarity threshold sweep (pair volume);
 //! * dedup by hash vs. name+version fallback (DG construction with
 //!   unavailable packages).
@@ -99,6 +101,51 @@ fn bench_threshold_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_growk_engine(c: &mut Criterion) {
+    // The whole grow-k schedule, cold restarts (what the seed paid at
+    // every step) vs. warm starts (what `similar_pairs` pays now).
+    // On this tiny corpus Lloyd converges in a couple of iterations and
+    // k-means++ seeding dominates, so the two are near-even; the warm
+    // win appears at corpus scale (clustering.rs engine groups and
+    // BENCH_PR1.json, n ≥ 5000 × dim 1024).
+    let corpus = lineage_corpus(12, 8, 5);
+    let embedder = embed::Embedder::new(256);
+    let data: Vec<Vec<f32>> = corpus
+        .iter()
+        .filter_map(|(_, code)| minilang::parse(code).ok())
+        .map(|module| embedder.embed(&module).as_slice().to_vec())
+        .collect();
+    let config = cluster::KMeansConfig::default();
+    let mut schedule = vec![3usize];
+    while *schedule.last().expect("non-empty") < 24 {
+        let k = *schedule.last().expect("non-empty");
+        schedule.push((((k as f64) * 1.3) as usize).max(k + 1).min(24));
+    }
+    let mut group = c.benchmark_group("ablation_growk_engine");
+    group.sample_size(10);
+    group.bench_function("cold_restart", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(6);
+            schedule
+                .iter()
+                .map(|&k| cluster::kmeans(&data, k, &config, &mut rng).inertia)
+                .last()
+        })
+    });
+    group.bench_function("warm_start", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(6);
+            let mut current = cluster::kmeans(&data, schedule[0], &config, &mut rng);
+            for &k in &schedule[1..] {
+                let extra = k.saturating_sub(current.k());
+                current = cluster::kmeans_warm(&data, &current.centroids, extra, &config, &mut rng);
+            }
+            current.inertia
+        })
+    });
+    group.finish();
+}
+
 fn bench_dedup_strategies(c: &mut Criterion) {
     // DG construction: hashing the whole artifact vs. comparing
     // name+version strings (the fallback for unavailable packages).
@@ -137,6 +184,7 @@ criterion_group!(
     benches,
     bench_embedding_dim,
     bench_autok_schedule,
+    bench_growk_engine,
     bench_threshold_sweep,
     bench_dedup_strategies
 );

@@ -1,0 +1,121 @@
+//! One-shot wall-time comparison of the K-Means engines, written to
+//! `BENCH_PR1.json` — the perf-trajectory baseline for the parallel,
+//! warm-started engine (ISSUE 1).
+//!
+//! Measures, at dim = 1024 and k = 64 for n ∈ {1000, 5000, 20000}:
+//!
+//! * `serial_ms` — the retained seed implementation
+//!   ([`cluster::serial::kmeans`]): naive distances, one thread;
+//! * `parallel_ms` — the new engine ([`cluster::kmeans`]): norm-cached
+//!   pruned distances, chunked parallel passes;
+//! * `parallel_warm_ms` — one grow-k schedule step on the new engine:
+//!   reaching k warm-started from the k−16 centroids
+//!   ([`cluster::kmeans_warm`]), which is what `similar_pairs` pays per
+//!   step instead of a cold restart.
+//!
+//! ```text
+//! cargo run -p malgraph-bench --bin kmeans_bench --release
+//! ```
+
+use cluster::{kmeans, kmeans_warm, serial, KMeansConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+const DIM: usize = 1024;
+const K: usize = 64;
+const WARM_EXTRA: usize = 16;
+
+/// Overlapping clusters (noise comparable to center spread): Lloyd has
+/// real work to do, like on embedding corpora, instead of converging in
+/// two iterations on trivially-separated blobs.
+fn blob_data(n: usize, centers: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centroids: Vec<Vec<f32>> = (0..centers)
+        .map(|_| (0..DIM).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    (0..n)
+        .map(|i| {
+            let c = &centroids[i % centers];
+            c.iter().map(|v| v + rng.gen_range(-0.6f32..0.6)).collect()
+        })
+        .collect()
+}
+
+/// Best-of-`reps` wall time (the usual benchmarking guard against
+/// scheduler noise); the result of the last repetition rides along.
+fn millis<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let started = Instant::now();
+        out = Some(f());
+        best = best.min(started.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut rows = Vec::new();
+    for &(n, max_iters) in &[(1000usize, 40usize), (5000, 25), (20000, 10)] {
+        eprintln!("n = {n} (dim {DIM}, k {K}, max_iters {max_iters})…");
+        let config = KMeansConfig {
+            max_iters,
+            tolerance: 1e-3,
+            ..KMeansConfig::default()
+        };
+        let data = blob_data(n, 48, n as u64);
+        let reps = if n >= 20000 { 2 } else { 3 };
+
+        let (serial_ms, serial_res) = millis(reps, || {
+            let mut rng = StdRng::seed_from_u64(1);
+            serial::kmeans(&data, K, &config, &mut rng)
+        });
+        let (parallel_ms, parallel_res) = millis(reps, || {
+            let mut rng = StdRng::seed_from_u64(1);
+            kmeans(&data, K, &config, &mut rng)
+        });
+        // The schedule step: the k−16 result exists already (previous
+        // step), only the warm continuation is the marginal cost.
+        let mut rng = StdRng::seed_from_u64(1);
+        let prev = kmeans(&data, K - WARM_EXTRA, &config, &mut rng);
+        let (warm_ms, warm_res) = millis(reps, || {
+            let mut rng = StdRng::seed_from_u64(2);
+            kmeans_warm(&data, &prev.centroids, WARM_EXTRA, &config, &mut rng)
+        });
+
+        eprintln!(
+            "  serial {serial_ms:.0} ms ({} iters) · parallel {parallel_ms:.0} ms ({} iters) \
+             · warm step {warm_ms:.0} ms ({} iters)",
+            serial_res.iterations, parallel_res.iterations, warm_res.iterations
+        );
+        rows.push(jsonio::object! {
+            "n": n,
+            "serial_ms": serial_ms,
+            "serial_iters": serial_res.iterations,
+            "parallel_ms": parallel_ms,
+            "parallel_iters": parallel_res.iterations,
+            "parallel_warm_ms": warm_ms,
+            "parallel_warm_iters": warm_res.iterations,
+            "speedup_parallel": serial_ms / parallel_ms,
+            "speedup_parallel_warm": serial_ms / warm_ms,
+        });
+    }
+
+    let report = jsonio::object! {
+        "bench": "kmeans_engines",
+        "issue": "PR1: parallel, warm-started K-Means engine",
+        "dim": DIM,
+        "k": K,
+        "warm_extra": WARM_EXTRA,
+        "host_threads": threads,
+        "note": "warm rows measure one grow-k schedule step (k-16 -> k), \
+                   the marginal cost similar_pairs pays per step",
+        "results": jsonio::Value::Array(rows),
+    };
+    std::fs::write("BENCH_PR1.json", report.to_pretty() + "\n").expect("write BENCH_PR1.json");
+    eprintln!("wrote BENCH_PR1.json");
+}

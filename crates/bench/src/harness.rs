@@ -18,6 +18,23 @@ pub struct Repro {
     pub dataset: CollectedDataset,
     /// The knowledge graph.
     pub graph: MalGraph,
+    /// Wall times of the preparation stages.
+    pub timings: StageTimings,
+}
+
+/// Wall times of the pipeline stages, printed by `repro` so performance
+/// regressions are visible next to the measurements.
+#[derive(Debug, Clone, Copy)]
+pub struct StageTimings {
+    /// World generation (the simulated ground truth).
+    pub world: std::time::Duration,
+    /// Corpus collection (feeds, mirror recovery, reports).
+    pub collect: std::time::Duration,
+    /// MALGRAPH construction, similarity included.
+    pub build: std::time::Duration,
+    /// The similarity stage alone (embed + K-Means + refinement); a
+    /// subset of `build`, broken out because it is the hot path.
+    pub similarity: std::time::Duration,
 }
 
 /// All experiment identifiers, in paper order.
@@ -34,13 +51,26 @@ impl Repro {
             ..WorldConfig::default()
         }
         .with_scale(scale);
+        let started = std::time::Instant::now();
         let world = World::generate(config);
+        let world_elapsed = started.elapsed();
+        let started = std::time::Instant::now();
         let dataset = collect(&world);
+        let collect_elapsed = started.elapsed();
+        let started = std::time::Instant::now();
         let graph = build(&dataset, &BuildOptions::default());
+        let build_elapsed = started.elapsed();
+        let timings = StageTimings {
+            world: world_elapsed,
+            collect: collect_elapsed,
+            build: build_elapsed,
+            similarity: graph.similarity_elapsed,
+        };
         Repro {
             world,
             dataset,
             graph,
+            timings,
         }
     }
 

@@ -10,4 +10,4 @@
 
 pub mod harness;
 
-pub use harness::{Repro, EXPERIMENTS};
+pub use harness::{Repro, StageTimings, EXPERIMENTS};

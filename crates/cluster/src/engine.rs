@@ -1,0 +1,285 @@
+//! The parallel Lloyd engine behind [`crate::kmeans`] and
+//! [`crate::kmeans_warm`].
+//!
+//! # Determinism contract
+//!
+//! Results are **bitwise identical at any thread count**. Three rules
+//! make that hold, and every future change must preserve them:
+//!
+//! 1. **Fixed chunk boundaries.** Points are processed in chunks of
+//!    [`CHUNK`] — a constant, *never* derived from the thread count — so
+//!    the partition of the input does not depend on parallelism.
+//! 2. **In-index-order merging.** Per-chunk partial results (cluster
+//!    sums, counts, inertia) are merged by ascending chunk index on one
+//!    thread. Floating-point addition is not associative; a fixed merge
+//!    order fixes the summation tree, so the same bits come out no
+//!    matter which worker computed which chunk.
+//! 3. **Thread-independent work.** A chunk's pass reads only the input
+//!    and the centroids of the previous iteration — never another
+//!    chunk's output — so scheduling cannot leak into the arithmetic.
+//!
+//! # Distance pruning
+//!
+//! Squared norms of points and centroids are cached once per pass, so
+//! `‖p−c‖² = ‖p‖² − 2·p·c + ‖c‖²` costs one dot product. Before paying
+//! for the dot product, the triangle-inequality lower bound
+//! `(‖p‖−‖c‖)² ≤ ‖p−c‖²` is checked against the best distance so far
+//! and losing centroids are skipped outright. Pruning is a pure
+//! short-circuit on the same scan order, so it cannot change the argmin
+//! and keeps the contract above.
+
+use crate::{KMeansConfig, KMeansResult};
+
+/// Default points-per-chunk of the assignment pass
+/// ([`KMeansConfig::chunk`]). Whatever the value, it must stay
+/// independent of the thread count — see the determinism contract above.
+pub(crate) const DEFAULT_CHUNK: usize = 1024;
+
+/// Per-chunk output of one assignment pass.
+struct ChunkPass {
+    /// Assigned cluster per point of the chunk.
+    assign: Vec<usize>,
+    /// Squared distance of each point to its assigned centroid.
+    dist: Vec<f32>,
+    /// Per-cluster component sums (`k × dim`, flattened), empty when the
+    /// pass only needs assignments.
+    sums: Vec<f32>,
+    /// Per-cluster member counts, empty when `sums` is.
+    counts: Vec<usize>,
+    /// Chunk inertia: `dist` summed in point order.
+    inertia: f32,
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+pub(crate) fn distance_sq(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Resolves the configured thread count: `0` means
+/// `available_parallelism`, and no more workers than chunks are ever
+/// useful.
+fn resolve_threads(requested: usize, n_chunks: usize) -> usize {
+    let threads = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    threads.clamp(1, n_chunks.max(1))
+}
+
+/// Runs `f` over every chunk index and returns the outputs **ordered by
+/// chunk index**, regardless of which worker produced them. Workers take
+/// chunks by stride; with one thread no scope is spawned at all.
+fn run_chunks<T, F>(n_chunks: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n_chunks <= 1 {
+        return (0..n_chunks).map(f).collect();
+    }
+    let workers = threads.min(n_chunks);
+    crossbeam::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move |_| {
+                    let mut out = Vec::new();
+                    let mut chunk = w;
+                    while chunk < n_chunks {
+                        out.push((chunk, f(chunk)));
+                        chunk += workers;
+                    }
+                    out
+                })
+            })
+            .collect();
+        let mut slots: Vec<Option<T>> = (0..n_chunks).map(|_| None).collect();
+        for handle in handles {
+            for (chunk, value) in handle.join().expect("kmeans worker must not panic") {
+                slots[chunk] = Some(value);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every chunk processed exactly once"))
+            .collect()
+    })
+    .expect("crossbeam scope")
+}
+
+/// One assignment pass over chunk `chunk`: nearest centroid per point
+/// with norm-cached pruned distances, plus (optionally) the chunk's
+/// partial cluster sums for the update step.
+#[allow(clippy::too_many_arguments)]
+fn assign_chunk(
+    points: &[&[f32]],
+    pnorm: &[f32],
+    proot: &[f32],
+    centroids: &[Vec<f32>],
+    cnorm: &[f32],
+    croot: &[f32],
+    dim: usize,
+    chunk: usize,
+    chunk_size: usize,
+    with_sums: bool,
+) -> ChunkPass {
+    let lo = chunk * chunk_size;
+    let hi = (lo + chunk_size).min(points.len());
+    let k = centroids.len();
+    let mut assign = Vec::with_capacity(hi - lo);
+    let mut dist = Vec::with_capacity(hi - lo);
+    let mut sums = if with_sums { vec![0.0f32; k * dim] } else { Vec::new() };
+    let mut counts = if with_sums { vec![0usize; k] } else { Vec::new() };
+    let mut inertia = 0.0f32;
+    for i in lo..hi {
+        let point = points[i];
+        let mut best = 0usize;
+        let mut best_d = f32::INFINITY;
+        for c in 0..k {
+            // Triangle-inequality lower bound: skip centroids that
+            // cannot beat the incumbent without touching their
+            // coordinates.
+            let gap = proot[i] - croot[c];
+            if gap * gap >= best_d {
+                continue;
+            }
+            let d = pnorm[i] - 2.0 * dot(point, &centroids[c]) + cnorm[c];
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        // The expansion can go epsilon-negative for a point sitting on
+        // its centroid.
+        let best_d = best_d.max(0.0);
+        assign.push(best);
+        dist.push(best_d);
+        inertia += best_d;
+        if with_sums {
+            counts[best] += 1;
+            for (s, v) in sums[best * dim..(best + 1) * dim].iter_mut().zip(point) {
+                *s += v;
+            }
+        }
+    }
+    ChunkPass {
+        assign,
+        dist,
+        sums,
+        counts,
+        inertia,
+    }
+}
+
+/// Lloyd iterations from the given initial centroids.
+///
+/// Shared by [`crate::kmeans`] (k-means++ init) and
+/// [`crate::kmeans_warm`] (previous centroids + seeded extras).
+pub(crate) fn lloyd(
+    points: &[&[f32]],
+    dim: usize,
+    mut centroids: Vec<Vec<f32>>,
+    config: &KMeansConfig,
+) -> KMeansResult {
+    let n = points.len();
+    let k = centroids.len();
+    let chunk_size = config.chunk.max(1);
+    let n_chunks = n.div_ceil(chunk_size);
+    let threads = resolve_threads(config.threads, n_chunks);
+    let pnorm: Vec<f32> = points.iter().map(|p| dot(p, p)).collect();
+    let proot: Vec<f32> = pnorm.iter().map(|v| v.sqrt()).collect();
+
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0;
+    for iter in 0..config.max_iters {
+        iterations = iter + 1;
+        let cnorm: Vec<f32> = centroids.iter().map(|c| dot(c, c)).collect();
+        let croot: Vec<f32> = cnorm.iter().map(|v| v.sqrt()).collect();
+        let passes = run_chunks(n_chunks, threads, |chunk| {
+            assign_chunk(
+                points, &pnorm, &proot, &centroids, &cnorm, &croot, dim, chunk, chunk_size,
+                true,
+            )
+        });
+        // Merge partials in chunk-index order (the determinism contract).
+        let mut sums = vec![0.0f32; k * dim];
+        let mut counts = vec![0usize; k];
+        let mut dists = vec![0.0f32; n];
+        for (chunk, pass) in passes.iter().enumerate() {
+            let lo = chunk * chunk_size;
+            assignments[lo..lo + pass.assign.len()].copy_from_slice(&pass.assign);
+            dists[lo..lo + pass.dist.len()].copy_from_slice(&pass.dist);
+            for (s, v) in sums.iter_mut().zip(&pass.sums) {
+                *s += v;
+            }
+            for (count, v) in counts.iter_mut().zip(&pass.counts) {
+                *count += v;
+            }
+        }
+        // Update step, serial over k.
+        let mut movement = 0.0f32;
+        let mut reseed_order: Option<Vec<usize>> = None;
+        let mut reseeded = 0usize;
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Empty cluster: re-seed on the farthest point from its
+                // centroid; successive empties take successively
+                // farther-ranked points so they do not collapse onto one.
+                let order = reseed_order.get_or_insert_with(|| {
+                    let mut idx: Vec<usize> = (0..n).collect();
+                    idx.sort_by(|&a, &b| dists[b].total_cmp(&dists[a]).then(a.cmp(&b)));
+                    idx
+                });
+                let far = order[reseeded.min(order.len() - 1)];
+                reseeded += 1;
+                let fresh = points[far].to_vec();
+                movement += distance_sq(&fresh, &centroids[c]);
+                centroids[c] = fresh;
+                continue;
+            }
+            let inv = 1.0 / counts[c] as f32;
+            let fresh: Vec<f32> = sums[c * dim..(c + 1) * dim].iter().map(|s| s * inv).collect();
+            movement += distance_sq(&fresh, &centroids[c]);
+            centroids[c] = fresh;
+        }
+        if movement <= config.tolerance {
+            break;
+        }
+    }
+
+    // Final assignment against the converged centroids; inertia is the
+    // chunk-ordered sum of the per-chunk ordered sums.
+    let cnorm: Vec<f32> = centroids.iter().map(|c| dot(c, c)).collect();
+    let croot: Vec<f32> = cnorm.iter().map(|v| v.sqrt()).collect();
+    let passes = run_chunks(n_chunks, threads, |chunk| {
+        assign_chunk(
+            points, &pnorm, &proot, &centroids, &cnorm, &croot, dim, chunk, chunk_size,
+            false,
+        )
+    });
+    let mut inertia = 0.0f32;
+    for (chunk, pass) in passes.iter().enumerate() {
+        let lo = chunk * chunk_size;
+        assignments[lo..lo + pass.assign.len()].copy_from_slice(&pass.assign);
+        inertia += pass.inertia;
+    }
+
+    KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    }
+}

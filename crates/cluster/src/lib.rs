@@ -3,15 +3,31 @@
 //! The paper clusters package embeddings with scikit-learn's K-Means:
 //! "The initial number of clusters is set to 3, and we increase the number
 //! of clusters until the centroids of newly formed clusters do not change"
-//! (§III-A). This crate reimplements that pipeline:
+//! (§III-A). This crate reimplements that pipeline around a parallel,
+//! deterministic, warm-startable Lloyd engine:
 //!
-//! * [`kmeans`] — k-means++ seeding + Lloyd iterations;
+//! * [`kmeans`] — k-means++ seeding + parallel Lloyd iterations;
+//! * [`kmeans_warm`] — keeps a previous run's centroids and
+//!   k-means++-seeds only the new ones, which is what makes the grow-k
+//!   schedule cheap (each step refines instead of restarting);
 //! * [`auto_kmeans`] — the paper's grow-k-until-stable schedule;
+//! * [`serial`] — the original single-threaded implementation, kept as
+//!   the benchmark baseline and differential-test oracle;
 //! * [`metrics`] — silhouette score, adjusted Rand index and inertia, used
 //!   by the validation tests and the ablation benchmarks.
 //!
 //! Points are plain `&[f32]` slices so the crate has no dependency on the
 //! embedding layer.
+//!
+//! # Determinism contract
+//!
+//! [`kmeans`] and [`kmeans_warm`] produce **bitwise identical** results
+//! at any [`KMeansConfig::threads`] setting: the engine processes points
+//! in fixed-size chunks (boundaries independent of the thread count) and
+//! merges per-chunk partial sums in chunk-index order, so the
+//! floating-point summation tree — and therefore every centroid,
+//! assignment and the inertia — does not depend on scheduling. See
+//! `engine.rs` for the full contract; keep it when touching parallelism.
 //!
 //! # Examples
 //!
@@ -32,7 +48,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod engine;
 pub mod metrics;
+pub mod serial;
 
 use rand::Rng;
 
@@ -43,6 +61,15 @@ pub struct KMeansConfig {
     pub max_iters: usize,
     /// Convergence threshold on total centroid movement (squared).
     pub tolerance: f32,
+    /// Worker threads for the assignment/accumulation passes; `0` means
+    /// `available_parallelism`. Any value yields bitwise identical
+    /// results (see the crate-level determinism contract).
+    pub threads: usize,
+    /// Points per work chunk of the parallel passes. Changing it changes
+    /// the floating-point summation grouping (legitimately different
+    /// rounding); changing [`KMeansConfig::threads`] never does, because
+    /// chunk boundaries are independent of the thread count.
+    pub chunk: usize,
 }
 
 impl Default for KMeansConfig {
@@ -50,6 +77,8 @@ impl Default for KMeansConfig {
         KMeansConfig {
             max_iters: 100,
             tolerance: 1e-6,
+            threads: 0,
+            chunk: engine::DEFAULT_CHUNK,
         }
     }
 }
@@ -92,17 +121,18 @@ impl KMeansResult {
     }
 }
 
-fn distance_sq(a: &[f32], b: &[f32]) -> f32 {
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| {
-            let d = x - y;
-            d * d
-        })
-        .sum()
+fn collect_points<P: AsRef<[f32]>>(data: &[P]) -> (Vec<&[f32]>, usize) {
+    assert!(!data.is_empty(), "cannot cluster an empty dataset");
+    let points: Vec<&[f32]> = data.iter().map(|p| p.as_ref()).collect();
+    let dim = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == dim),
+        "inconsistent point dimensions"
+    );
+    (points, dim)
 }
 
-/// Runs K-Means with k-means++ initialization.
+/// Runs K-Means with k-means++ initialization on the parallel engine.
 ///
 /// If `k >= data.len()`, every point becomes its own cluster.
 ///
@@ -116,114 +146,85 @@ pub fn kmeans<P: AsRef<[f32]>>(
     config: &KMeansConfig,
     rng: &mut impl Rng,
 ) -> KMeansResult {
-    assert!(!data.is_empty(), "cannot cluster an empty dataset");
     assert!(k > 0, "k must be positive");
-    let dim = data[0].as_ref().len();
-    assert!(
-        data.iter().all(|p| p.as_ref().len() == dim),
-        "inconsistent point dimensions"
-    );
-    let k = k.min(data.len());
-
-    let mut centroids = init_plus_plus(data, k, rng);
-    let mut assignments = vec![0usize; data.len()];
-    let mut iterations = 0;
-
-    for iter in 0..config.max_iters {
-        iterations = iter + 1;
-        // Assignment step.
-        for (i, point) in data.iter().enumerate() {
-            let p = point.as_ref();
-            let mut best = 0usize;
-            let mut best_d = f32::INFINITY;
-            for (c, centroid) in centroids.iter().enumerate() {
-                let d = distance_sq(p, centroid);
-                if d < best_d {
-                    best_d = d;
-                    best = c;
-                }
-            }
-            assignments[i] = best;
-        }
-        // Update step.
-        let mut sums = vec![vec![0.0f32; dim]; k];
-        let mut counts = vec![0usize; k];
-        for (i, point) in data.iter().enumerate() {
-            let a = assignments[i];
-            counts[a] += 1;
-            for (s, v) in sums[a].iter_mut().zip(point.as_ref()) {
-                *s += v;
-            }
-        }
-        let mut movement = 0.0f32;
-        for c in 0..k {
-            if counts[c] == 0 {
-                // Empty cluster: re-seed on the point farthest from its
-                // centroid, the standard fix-up.
-                let far = (0..data.len())
-                    .max_by(|&a, &b| {
-                        let da = distance_sq(data[a].as_ref(), &centroids[assignments[a]]);
-                        let db = distance_sq(data[b].as_ref(), &centroids[assignments[b]]);
-                        da.total_cmp(&db)
-                    })
-                    .expect("data non-empty");
-                let fresh: Vec<f32> = data[far].as_ref().to_vec();
-                movement += distance_sq(&fresh, &centroids[c]);
-                centroids[c] = fresh;
-                continue;
-            }
-            let mut fresh = sums[c].clone();
-            for v in &mut fresh {
-                *v /= counts[c] as f32;
-            }
-            movement += distance_sq(&fresh, &centroids[c]);
-            centroids[c] = fresh;
-        }
-        if movement <= config.tolerance {
-            break;
-        }
-    }
-
-    // Final assignment against converged centroids.
-    let mut inertia = 0.0f32;
-    for (i, point) in data.iter().enumerate() {
-        let p = point.as_ref();
-        let mut best = 0usize;
-        let mut best_d = f32::INFINITY;
-        for (c, centroid) in centroids.iter().enumerate() {
-            let d = distance_sq(p, centroid);
-            if d < best_d {
-                best_d = d;
-                best = c;
-            }
-        }
-        assignments[i] = best;
-        inertia += best_d;
-    }
-
-    KMeansResult {
-        centroids,
-        assignments,
-        inertia,
-        iterations,
-    }
+    let (points, dim) = collect_points(data);
+    let k = k.min(points.len());
+    let centroids = seed_plus_plus(&points, Vec::new(), k, rng);
+    engine::lloyd(&points, dim, centroids, config)
 }
 
-/// k-means++ seeding: first centroid uniform, then each next centroid
-/// sampled proportionally to squared distance from the nearest chosen one.
-fn init_plus_plus<P: AsRef<[f32]>>(data: &[P], k: usize, rng: &mut impl Rng) -> Vec<Vec<f32>> {
-    let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
-    let first = rng.gen_range(0..data.len());
-    centroids.push(data[first].as_ref().to_vec());
-    let mut dists: Vec<f32> = data
-        .iter()
-        .map(|p| distance_sq(p.as_ref(), &centroids[0]))
-        .collect();
+/// Runs K-Means warm-started from a previous run's centroids, adding
+/// `extra_k` freshly k-means++-seeded clusters.
+///
+/// The kept centroids are already near their basins, so Lloyd typically
+/// converges in a handful of iterations — this is what turns the grow-k
+/// schedule from "restart from scratch at every k" into incremental
+/// refinement. The total `prev_centroids.len() + extra_k` is clamped to
+/// `data.len()`.
+///
+/// # Panics
+///
+/// Panics if `data` is empty, `prev_centroids.len() + extra_k == 0`, or
+/// any point/centroid dimension is inconsistent.
+pub fn kmeans_warm<P: AsRef<[f32]>>(
+    data: &[P],
+    prev_centroids: &[Vec<f32>],
+    extra_k: usize,
+    config: &KMeansConfig,
+    rng: &mut impl Rng,
+) -> KMeansResult {
+    assert!(
+        !prev_centroids.is_empty() || extra_k > 0,
+        "k must be positive"
+    );
+    let (points, dim) = collect_points(data);
+    assert!(
+        prev_centroids.iter().all(|c| c.len() == dim),
+        "inconsistent point dimensions"
+    );
+    let k = (prev_centroids.len() + extra_k).min(points.len());
+    let mut centroids: Vec<Vec<f32>> = prev_centroids.iter().take(k).cloned().collect();
+    if centroids.len() < k {
+        centroids = seed_plus_plus(&points, centroids, k, rng);
+    }
+    engine::lloyd(&points, dim, centroids, config)
+}
+
+/// k-means++ seeding, continuing from `existing` centroids (empty for a
+/// cold start): the first missing centroid is uniform (cold) or sampled
+/// against the existing ones (warm), then each next centroid is sampled
+/// proportionally to squared distance from the nearest chosen one.
+fn seed_plus_plus(
+    points: &[&[f32]],
+    existing: Vec<Vec<f32>>,
+    k: usize,
+    rng: &mut impl Rng,
+) -> Vec<Vec<f32>> {
+    let mut centroids = existing;
+    let mut dists: Vec<f32>;
+    if centroids.is_empty() {
+        let first = rng.gen_range(0..points.len());
+        centroids.push(points[first].to_vec());
+        dists = points
+            .iter()
+            .map(|p| engine::distance_sq(p, &centroids[0]))
+            .collect();
+    } else {
+        dists = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| engine::distance_sq(p, c))
+                    .fold(f32::INFINITY, f32::min)
+            })
+            .collect();
+    }
     while centroids.len() < k {
         let total: f32 = dists.iter().sum();
         let chosen = if total <= f32::EPSILON {
             // All points coincide with chosen centroids; pick uniformly.
-            rng.gen_range(0..data.len())
+            rng.gen_range(0..points.len())
         } else {
             let mut target = rng.gen_range(0.0..total);
             let mut idx = 0;
@@ -237,10 +238,10 @@ fn init_plus_plus<P: AsRef<[f32]>>(data: &[P], k: usize, rng: &mut impl Rng) -> 
             }
             idx
         };
-        centroids.push(data[chosen].as_ref().to_vec());
+        centroids.push(points[chosen].to_vec());
         let last = centroids.last().expect("just pushed");
-        for (d, p) in dists.iter_mut().zip(data) {
-            *d = d.min(distance_sq(p.as_ref(), last));
+        for (d, p) in dists.iter_mut().zip(points) {
+            *d = d.min(engine::distance_sq(p, last));
         }
     }
     centroids
@@ -312,6 +313,13 @@ mod tests {
             }
         }
         data
+    }
+
+    fn with_threads(threads: usize) -> KMeansConfig {
+        KMeansConfig {
+            threads,
+            ..KMeansConfig::default()
+        }
     }
 
     #[test]
@@ -426,5 +434,114 @@ mod tests {
         let mut seen: Vec<usize> = res.clusters().into_iter().flatten().collect();
         seen.sort_unstable();
         assert_eq!(seen, (0..40).collect::<Vec<_>>());
+    }
+
+    /// Random unclustered data: the hardest case for bitwise equality,
+    /// because near-ties abound. The determinism contract demands exact
+    /// bit equality of assignments, centroids and inertia across thread
+    /// counts.
+    #[test]
+    fn thread_count_does_not_change_bits() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let data: Vec<Vec<f32>> = (0..2500)
+            .map(|_| (0..16).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        let run = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(21);
+            kmeans(&data, 7, &with_threads(threads), &mut rng)
+        };
+        let one = run(1);
+        for threads in [2, 3, 5, 8] {
+            let many = run(threads);
+            assert_eq!(one.assignments, many.assignments, "threads={threads}");
+            assert_eq!(
+                one.inertia.to_bits(),
+                many.inertia.to_bits(),
+                "threads={threads}"
+            );
+            for (a, b) in one.centroids.iter().zip(&many.centroids) {
+                let (ab, bb): (Vec<u32>, Vec<u32>) = (
+                    a.iter().map(|v| v.to_bits()).collect(),
+                    b.iter().map(|v| v.to_bits()).collect(),
+                );
+                assert_eq!(ab, bb, "threads={threads}");
+            }
+            assert_eq!(one.iterations, many.iterations, "threads={threads}");
+        }
+    }
+
+    /// Warm-starting with a hopeless extra centroid exercises the
+    /// empty-cluster re-seed: the far centroid captures nothing on the
+    /// first pass and must be re-seeded onto a real point.
+    #[test]
+    fn empty_cluster_is_reseeded() {
+        let data = blobs(&[(0.0, 0.0), (5.0, 5.0)], 20, 0.5, 22);
+        let prev = vec![vec![0.0, 0.0], vec![5.0, 5.0], vec![1.0e6, 1.0e6]];
+        let mut rng = StdRng::seed_from_u64(23);
+        let res = kmeans_warm(&data, &prev, 0, &KMeansConfig::default(), &mut rng);
+        assert_eq!(res.k(), 3);
+        assert!(res.inertia.is_finite());
+        assert!(
+            res.cluster_sizes().iter().all(|&s| s > 0),
+            "re-seed must put every cluster to work: {:?}",
+            res.cluster_sizes()
+        );
+    }
+
+    #[test]
+    fn warm_start_keeps_and_extends_centroids() {
+        let data = blobs(
+            &[(0.0, 0.0), (12.0, 0.0), (0.0, 12.0), (12.0, 12.0)],
+            25,
+            0.5,
+            24,
+        );
+        let mut rng = StdRng::seed_from_u64(25);
+        let coarse = kmeans(&data, 2, &KMeansConfig::default(), &mut rng);
+        let fine = kmeans_warm(&data, &coarse.centroids, 2, &KMeansConfig::default(), &mut rng);
+        assert_eq!(fine.k(), 4);
+        assert!(
+            fine.inertia < coarse.inertia / 2.0,
+            "extra centroids must recover merged blobs: {} vs {}",
+            fine.inertia,
+            coarse.inertia
+        );
+        let sizes = fine.cluster_sizes();
+        assert!(sizes.iter().all(|&s| s == 25), "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn warm_start_with_k_beyond_n_is_clamped() {
+        let data = blobs(&[(0.0, 0.0)], 4, 0.5, 26);
+        let prev = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
+        let mut rng = StdRng::seed_from_u64(27);
+        let res = kmeans_warm(&data, &prev, 10, &KMeansConfig::default(), &mut rng);
+        assert_eq!(res.k(), 4);
+    }
+
+    #[test]
+    fn warm_start_on_identical_points() {
+        let data = vec![vec![3.0, 3.0]; 8];
+        let prev = vec![vec![3.0, 3.0]];
+        let mut rng = StdRng::seed_from_u64(28);
+        let res = kmeans_warm(&data, &prev, 2, &KMeansConfig::default(), &mut rng);
+        assert!(res.inertia < 1e-9);
+        assert_eq!(res.assignments.len(), 8);
+    }
+
+    /// The parallel engine against the retained seed implementation on
+    /// well-separated data: same partition, same inertia (the engines
+    /// use different but mathematically equal distance formulas, so the
+    /// comparison allows float slack).
+    #[test]
+    fn engine_matches_serial_reference_on_blobs() {
+        let data = blobs(&[(0.0, 0.0), (20.0, 0.0), (0.0, 20.0)], 40, 0.8, 29);
+        let mut rng_a = StdRng::seed_from_u64(30);
+        let mut rng_b = StdRng::seed_from_u64(30);
+        let fast = kmeans(&data, 3, &KMeansConfig::default(), &mut rng_a);
+        let reference = serial::kmeans(&data, 3, &KMeansConfig::default(), &mut rng_b);
+        assert_eq!(fast.assignments, reference.assignments);
+        let rel = (fast.inertia - reference.inertia).abs() / reference.inertia.max(1e-12);
+        assert!(rel < 1e-3, "inertia drift: {} vs {}", fast.inertia, reference.inertia);
     }
 }

@@ -1,7 +1,8 @@
 //! Property-based tests for K-Means: the converged solution must satisfy
-//! the Lloyd invariants regardless of input shape.
+//! the Lloyd invariants regardless of input shape, and the parallel
+//! engine must be bitwise insensitive to its thread count.
 
-use cluster::{kmeans, KMeansConfig};
+use cluster::{kmeans, kmeans_warm, KMeansConfig};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -106,5 +107,57 @@ proptest! {
         // k = n is always (near) zero inertia; k = 1 is the upper bound.
         prop_assert!(kn.inertia <= k1.inertia + 1e-3);
         prop_assert!(kn.inertia < 1e-3);
+    }
+
+    /// The determinism contract: serial (1 thread) and parallel (N
+    /// threads) runs of the same configuration are bitwise identical —
+    /// assignments, inertia *and* centroids. A small chunk size forces
+    /// multi-chunk merging even on these small inputs.
+    #[test]
+    fn parallel_equals_serial_bitwise(
+        data in arb_points(),
+        k in 1usize..6,
+        seed in 0u64..1000,
+        threads in 2usize..6,
+    ) {
+        let run = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let config = KMeansConfig { threads, chunk: 4, ..KMeansConfig::default() };
+            kmeans(&data, k, &config, &mut rng)
+        };
+        let serial = run(1);
+        let parallel = run(threads);
+        prop_assert_eq!(&serial.assignments, &parallel.assignments);
+        prop_assert_eq!(serial.inertia.to_bits(), parallel.inertia.to_bits());
+        prop_assert_eq!(serial.iterations, parallel.iterations);
+        for (a, b) in serial.centroids.iter().zip(&parallel.centroids) {
+            let ab: Vec<u32> = a.iter().map(|v| v.to_bits()).collect();
+            let bb: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(ab, bb);
+        }
+    }
+
+    /// Warm starts obey the same invariants as cold starts: a valid
+    /// partition, and never a worse objective than the run they extend.
+    #[test]
+    fn warm_start_extends_without_regressing(
+        data in arb_points(),
+        k in 1usize..4,
+        extra in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(data.len() >= 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let coarse = kmeans(&data, k, &KMeansConfig::default(), &mut rng);
+        let fine = kmeans_warm(&data, &coarse.centroids, extra, &KMeansConfig::default(), &mut rng);
+        prop_assert_eq!(fine.k(), (coarse.k() + extra).min(data.len()));
+        prop_assert_eq!(fine.assignments.len(), data.len());
+        prop_assert!(fine.assignments.iter().all(|&a| a < fine.k()));
+        prop_assert!(
+            fine.inertia <= coarse.inertia * 1.001 + 1e-3,
+            "warm start regressed: {} vs {}",
+            fine.inertia,
+            coarse.inertia
+        );
     }
 }

@@ -16,7 +16,6 @@ use crate::registry::RegistryMeta;
 use crate::sources::Archive;
 use oss_types::{PackageId, Sha256, SimTime, SourceId};
 use registry_sim::ReportCategory;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How much of the corpus to export.
@@ -42,42 +41,43 @@ impl fmt::Display for ExportError {
 
 impl std::error::Error for ExportError {}
 
-#[derive(Debug, Serialize, Deserialize)]
-struct Manifest {
-    format_version: u32,
-    collect_time: SimTime,
-    website_count: usize,
-    packages: Vec<PackageEntry>,
-    reports: Vec<ReportEntry>,
+/// Slug used for a [`ReportCategory`] in manifests (stable across
+/// renames of the Rust variant).
+fn category_slug(category: ReportCategory) -> &'static str {
+    match category {
+        ReportCategory::TechnicalCommunity => "technical-community",
+        ReportCategory::Commercial => "commercial",
+        ReportCategory::News => "news",
+        ReportCategory::Individual => "individual",
+        ReportCategory::Official => "official",
+        ReportCategory::Other => "other",
+    }
 }
 
-#[derive(Debug, Serialize, Deserialize)]
-struct PackageEntry {
-    id: String,
-    mentions: Vec<(SourceId, SimTime)>,
-    sha256: Option<String>,
-    recovered_from_mirror: bool,
-    mirror_recoverable: bool,
-    meta: Option<MetaEntry>,
-    #[serde(skip_serializing_if = "Option::is_none")]
-    archive: Option<Archive>,
+fn parse_category(slug: &str) -> Option<ReportCategory> {
+    ReportCategory::ALL
+        .into_iter()
+        .find(|c| category_slug(*c) == slug)
 }
 
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
-struct MetaEntry {
-    released: SimTime,
-    removed: Option<SimTime>,
-    downloads: u64,
+fn time_value(t: SimTime) -> jsonio::Value {
+    jsonio::Value::from(t.as_minutes())
 }
 
-#[derive(Debug, Serialize, Deserialize)]
-struct ReportEntry {
-    website: String,
-    category: ReportCategory,
-    published: Option<SimTime>,
-    title: String,
-    packages: Vec<String>,
-    actor: Option<String>,
+fn opt_time_value(t: Option<SimTime>) -> jsonio::Value {
+    t.map(time_value).unwrap_or(jsonio::Value::Null)
+}
+
+fn archive_value(archive: &Archive) -> jsonio::Value {
+    jsonio::object! {
+        "description": archive.description.as_str(),
+        "dependencies": archive
+            .dependencies
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>(),
+        "code": archive.code.as_str(),
+    }
 }
 
 /// Serializes the corpus as pretty-printed JSON.
@@ -90,46 +90,63 @@ pub fn export_json(
     dataset: &CollectedDataset,
     fidelity: ExportFidelity,
 ) -> Result<String, ExportError> {
-    let manifest = Manifest {
-        format_version: 1,
-        collect_time: dataset.collect_time,
-        website_count: dataset.website_count,
-        packages: dataset
-            .packages
-            .iter()
-            .map(|p| PackageEntry {
-                id: p.id.to_string(),
-                mentions: p.mentions.clone(),
-                sha256: p.signature.map(|s| s.to_string()),
-                recovered_from_mirror: p.recovered_from_mirror,
-                mirror_recoverable: p.mirror_recoverable,
-                meta: p.meta.map(|m| MetaEntry {
-                    released: m.released,
-                    removed: m.removed,
-                    downloads: m.downloads,
+    let packages: Vec<jsonio::Value> = dataset
+        .packages
+        .iter()
+        .map(|p| {
+            let mentions: Vec<jsonio::Value> = p
+                .mentions
+                .iter()
+                .map(|(source, at)| {
+                    jsonio::Value::Array(vec![source.slug().into(), time_value(*at)])
+                })
+                .collect();
+            let jsonio::Value::Object(mut members) = (jsonio::object! {
+                "id": p.id.to_string(),
+                "mentions": mentions,
+                "sha256": p.signature.map(|s| s.to_string()),
+                "recovered_from_mirror": p.recovered_from_mirror,
+                "mirror_recoverable": p.mirror_recoverable,
+                "meta": p.meta.map(|m| jsonio::object! {
+                    "released": time_value(m.released),
+                    "removed": opt_time_value(m.removed),
+                    "downloads": m.downloads,
                 }),
-                archive: match fidelity {
-                    ExportFidelity::Full => p.archive.clone(),
-                    ExportFidelity::ManifestOnly => None,
-                },
-            })
-            .collect(),
-        reports: dataset
-            .reports
-            .iter()
-            .map(|r| ReportEntry {
-                website: r.website.clone(),
-                category: r.category,
-                published: r.published,
-                title: r.title.clone(),
-                packages: r.packages.iter().map(|p| p.to_string()).collect(),
-                actor: r.actor.clone(),
-            })
-            .collect(),
+            }) else {
+                unreachable!("object! builds an object");
+            };
+            // Archives are withheld entirely in manifest-only exports:
+            // the key itself is absent, not null.
+            if fidelity == ExportFidelity::Full {
+                if let Some(archive) = &p.archive {
+                    members.push(("archive".to_string(), archive_value(archive)));
+                }
+            }
+            jsonio::Value::Object(members)
+        })
+        .collect();
+    let reports: Vec<jsonio::Value> = dataset
+        .reports
+        .iter()
+        .map(|r| {
+            jsonio::object! {
+                "website": r.website.as_str(),
+                "category": category_slug(r.category),
+                "published": opt_time_value(r.published),
+                "title": r.title.as_str(),
+                "packages": r.packages.iter().map(|p| p.to_string()).collect::<Vec<_>>(),
+                "actor": r.actor.clone(),
+            }
+        })
+        .collect();
+    let manifest = jsonio::object! {
+        "format_version": 1u32,
+        "collect_time": time_value(dataset.collect_time),
+        "website_count": dataset.website_count,
+        "packages": packages,
+        "reports": reports,
     };
-    serde_json::to_string_pretty(&manifest).map_err(|e| ExportError {
-        message: e.to_string(),
-    })
+    Ok(manifest.to_pretty())
 }
 
 /// Deserializes a corpus previously written by [`export_json`].
@@ -142,25 +159,58 @@ pub fn export_json(
 /// Returns [`ExportError`] on malformed JSON, unknown format versions,
 /// unparseable identities or signature mismatches.
 pub fn import_json(json: &str) -> Result<CollectedDataset, ExportError> {
-    let manifest: Manifest = serde_json::from_str(json).map_err(|e| ExportError {
+    let root = jsonio::Value::parse(json).map_err(|e| ExportError {
         message: format!("malformed manifest: {e}"),
     })?;
-    if manifest.format_version != 1 {
+    let format_version = require(&root, "format_version")?
+        .as_u64()
+        .ok_or_else(|| bad_field("format_version"))?;
+    if format_version != 1 {
         return Err(ExportError {
-            message: format!("unsupported format version {}", manifest.format_version),
+            message: format!("unsupported format version {format_version}"),
         });
     }
-    let mut packages = Vec::with_capacity(manifest.packages.len());
-    for entry in manifest.packages {
-        let id: PackageId = entry.id.parse().map_err(|e| ExportError {
-            message: format!("bad package id {:?}: {e}", entry.id),
+    let collect_time = read_time(require(&root, "collect_time")?).ok_or_else(|| bad_field("collect_time"))?;
+    let website_count = require(&root, "website_count")?
+        .as_u64()
+        .ok_or_else(|| bad_field("website_count"))? as usize;
+
+    let package_entries = require(&root, "packages")?
+        .as_array()
+        .ok_or_else(|| bad_field("packages"))?;
+    let mut packages = Vec::with_capacity(package_entries.len());
+    for entry in package_entries {
+        let raw_id = require(entry, "id")?.as_str().ok_or_else(|| bad_field("id"))?;
+        let id: PackageId = raw_id.parse().map_err(|e| ExportError {
+            message: format!("bad package id {raw_id:?}: {e}"),
         })?;
-        let signature = entry
-            .sha256
-            .as_deref()
-            .map(parse_sha256)
-            .transpose()?;
-        if let (Some(signature), Some(archive)) = (signature, &entry.archive) {
+        let mut mentions = Vec::new();
+        for pair in require(entry, "mentions")?
+            .as_array()
+            .ok_or_else(|| bad_field("mentions"))?
+        {
+            let items = pair.as_array().ok_or_else(|| bad_field("mentions"))?;
+            let (Some(source), Some(at)) = (items.first(), items.get(1)) else {
+                return Err(bad_field("mentions"));
+            };
+            let source: SourceId = source
+                .as_str()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| bad_field("mentions"))?;
+            let at = read_time(at).ok_or_else(|| bad_field("mentions"))?;
+            mentions.push((source, at));
+        }
+        let signature = match require(entry, "sha256")? {
+            jsonio::Value::Null => None,
+            value => Some(parse_sha256(
+                value.as_str().ok_or_else(|| bad_field("sha256"))?,
+            )?),
+        };
+        let archive = match entry.get("archive") {
+            None | Some(jsonio::Value::Null) => None,
+            Some(value) => Some(read_archive(value)?),
+        };
+        if let (Some(signature), Some(archive)) = (signature, &archive) {
             let recomputed = registry_sim::campaign::artifact_signature(
                 &id,
                 &archive.description,
@@ -173,42 +223,122 @@ pub fn import_json(json: &str) -> Result<CollectedDataset, ExportError> {
                 });
             }
         }
+        let meta = match require(entry, "meta")? {
+            jsonio::Value::Null => None,
+            value => Some(RegistryMeta {
+                released: read_time(require(value, "released")?)
+                    .ok_or_else(|| bad_field("meta.released"))?,
+                removed: match require(value, "removed")? {
+                    jsonio::Value::Null => None,
+                    at => Some(read_time(at).ok_or_else(|| bad_field("meta.removed"))?),
+                },
+                downloads: require(value, "downloads")?
+                    .as_u64()
+                    .ok_or_else(|| bad_field("meta.downloads"))?,
+            }),
+        };
         packages.push(CollectedPackage {
             id,
-            mentions: entry.mentions,
-            archive: entry.archive,
+            mentions,
+            archive,
             signature,
-            recovered_from_mirror: entry.recovered_from_mirror,
-            mirror_recoverable: entry.mirror_recoverable,
-            meta: entry.meta.map(|m| RegistryMeta {
-                released: m.released,
-                removed: m.removed,
-                downloads: m.downloads,
-            }),
+            recovered_from_mirror: require(entry, "recovered_from_mirror")?
+                .as_bool()
+                .ok_or_else(|| bad_field("recovered_from_mirror"))?,
+            mirror_recoverable: require(entry, "mirror_recoverable")?
+                .as_bool()
+                .ok_or_else(|| bad_field("mirror_recoverable"))?,
+            meta,
         });
     }
-    let mut reports = Vec::with_capacity(manifest.reports.len());
-    for entry in manifest.reports {
-        let mut ids = Vec::with_capacity(entry.packages.len());
-        for raw in entry.packages {
+
+    let report_entries = require(&root, "reports")?
+        .as_array()
+        .ok_or_else(|| bad_field("reports"))?;
+    let mut reports = Vec::with_capacity(report_entries.len());
+    for entry in report_entries {
+        let mut ids = Vec::new();
+        for raw in require(entry, "packages")?
+            .as_array()
+            .ok_or_else(|| bad_field("report packages"))?
+        {
+            let raw = raw.as_str().ok_or_else(|| bad_field("report packages"))?;
             ids.push(raw.parse().map_err(|e| ExportError {
                 message: format!("bad report package id {raw:?}: {e}"),
             })?);
         }
         reports.push(CollectedReport {
-            website: entry.website,
-            category: entry.category,
-            published: entry.published,
-            title: entry.title,
+            website: require(entry, "website")?
+                .as_str()
+                .ok_or_else(|| bad_field("website"))?
+                .to_string(),
+            category: require(entry, "category")?
+                .as_str()
+                .and_then(parse_category)
+                .ok_or_else(|| bad_field("category"))?,
+            published: match require(entry, "published")? {
+                jsonio::Value::Null => None,
+                at => Some(read_time(at).ok_or_else(|| bad_field("published"))?),
+            },
+            title: require(entry, "title")?
+                .as_str()
+                .ok_or_else(|| bad_field("title"))?
+                .to_string(),
             packages: ids,
-            actor: entry.actor,
+            actor: match require(entry, "actor")? {
+                jsonio::Value::Null => None,
+                value => Some(
+                    value
+                        .as_str()
+                        .ok_or_else(|| bad_field("actor"))?
+                        .to_string(),
+                ),
+            },
         });
     }
     Ok(CollectedDataset {
         packages,
         reports,
-        website_count: manifest.website_count,
-        collect_time: manifest.collect_time,
+        website_count,
+        collect_time,
+    })
+}
+
+fn require<'v>(value: &'v jsonio::Value, key: &str) -> Result<&'v jsonio::Value, ExportError> {
+    value.get(key).ok_or_else(|| ExportError {
+        message: format!("malformed manifest: missing field {key:?}"),
+    })
+}
+
+fn bad_field(name: &str) -> ExportError {
+    ExportError {
+        message: format!("malformed manifest: invalid field {name:?}"),
+    }
+}
+
+fn read_time(value: &jsonio::Value) -> Option<SimTime> {
+    value.as_u64().map(SimTime::from_minutes)
+}
+
+fn read_archive(value: &jsonio::Value) -> Result<Archive, ExportError> {
+    let mut dependencies = Vec::new();
+    for dep in require(value, "dependencies")?
+        .as_array()
+        .ok_or_else(|| bad_field("archive.dependencies"))?
+    {
+        let raw = dep.as_str().ok_or_else(|| bad_field("archive.dependencies"))?;
+        dependencies.push(raw.parse().map_err(|_| bad_field("archive.dependencies"))?);
+    }
+    Ok(Archive {
+        description: require(value, "description")?
+            .as_str()
+            .ok_or_else(|| bad_field("archive.description"))?
+            .to_string(),
+        code: require(value, "code")?
+            .as_str()
+            .ok_or_else(|| bad_field("archive.code"))?
+            .to_string(),
+        dependencies,
     })
 }
 

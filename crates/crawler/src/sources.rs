@@ -16,10 +16,9 @@
 use crate::extract;
 use oss_types::{PackageId, SimTime, SourceId};
 use registry_sim::World;
-use serde::{Deserialize, Serialize};
 
 /// An artifact recovered with full contents (from a dump or a mirror).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Archive {
     /// Metadata description.
     pub description: String,
@@ -42,13 +41,42 @@ pub struct RawMention {
     pub archive: Option<Archive>,
 }
 
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 struct DumpEntry {
     id: String,
     disclosed: String,
     description: String,
     dependencies: Vec<String>,
     code: String,
+}
+
+impl DumpEntry {
+    fn to_json(&self) -> jsonio::Value {
+        jsonio::object! {
+            "id": self.id.as_str(),
+            "disclosed": self.disclosed.as_str(),
+            "description": self.description.as_str(),
+            "dependencies": self.dependencies.clone(),
+            "code": self.code.as_str(),
+        }
+    }
+
+    fn from_json(value: &jsonio::Value) -> Option<DumpEntry> {
+        let string = |key: &str| value.get(key)?.as_str().map(str::to_string);
+        let dependencies = value
+            .get("dependencies")?
+            .as_array()?
+            .iter()
+            .map(|d| d.as_str().map(str::to_string))
+            .collect::<Option<Vec<String>>>()?;
+        Some(DumpEntry {
+            id: string("id")?,
+            disclosed: string("disclosed")?,
+            description: string("description")?,
+            dependencies,
+            code: string("code")?,
+        })
+    }
 }
 
 /// Renders one source's feed as raw documents: `(format, body)` pairs.
@@ -76,7 +104,8 @@ pub fn render_feed(world: &World, source: SourceId) -> Vec<(FeedFormat, String)>
                     }
                 })
                 .collect();
-            let body = serde_json::to_string(&entries).expect("dump entries serialize");
+            let body =
+                jsonio::Value::Array(entries.iter().map(DumpEntry::to_json).collect()).to_compact();
             vec![(FeedFormat::JsonDump, body)]
         }
         oss_types::source::PublicationStyle::ReportPages => {
@@ -144,11 +173,13 @@ pub fn parse_feed(
     for (format, body) in documents {
         match format {
             FeedFormat::JsonDump => {
-                let entries: Vec<DumpEntry> = match serde_json::from_str(body) {
-                    Ok(e) => e,
-                    Err(_) => continue, // corrupt dump: skip, don't die
+                let Ok(parsed) = jsonio::Value::parse(body) else {
+                    continue; // corrupt dump: skip, don't die
                 };
-                for entry in entries {
+                let Some(items) = parsed.as_array() else {
+                    continue;
+                };
+                for entry in items.iter().filter_map(DumpEntry::from_json) {
                     let Ok(id) = entry.id.parse::<PackageId>() else {
                         continue;
                     };

@@ -4,11 +4,10 @@
 
 use minilang::interp::{run, InterpConfig, Trace};
 use minilang::Module;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A behaviour family inferred from an effect trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum BehaviorLabel {
     /// Sensitive read (env/credentials) followed by a network send.
     Exfiltration,

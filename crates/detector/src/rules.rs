@@ -2,12 +2,11 @@
 
 use minilang::ast::{Expr, Module, Stmt};
 use oss_types::PackageName;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
 
 /// A static rule identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RuleId {
     /// Imports a network library (`requests`, `socket`).
     NetworkImport,

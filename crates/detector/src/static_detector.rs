@@ -3,10 +3,9 @@
 use crate::rules::{matched_rules, RuleId};
 use minilang::Module;
 use oss_types::PackageName;
-use serde::{Deserialize, Serialize};
 
 /// A scan result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Verdict {
     /// Whether the score crossed the threshold.
     pub malicious: bool,

@@ -79,6 +79,30 @@ impl Embedding {
         (self.dot(other) / denom).clamp(-1.0, 1.0)
     }
 
+    /// Cosine similarity for vectors already known to be L2-normalized
+    /// (every [`crate::Embedder`] output is): one dot product, skipping
+    /// the two O(dim) norm passes [`Embedding::cosine`] would redo. This
+    /// is the fast path of the pairwise refinement loop, where each
+    /// vector is compared against every cluster sibling.
+    ///
+    /// The zero vector is accepted (its dot products are 0, matching
+    /// [`Embedding::cosine`]); other unnormalized inputs are a caller
+    /// bug, caught by a debug assertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn dot_normalized(&self, other: &Embedding) -> f32 {
+        debug_assert!(
+            {
+                let (a, b) = (self.norm(), other.norm());
+                (a == 0.0 || (a - 1.0).abs() < 1e-3) && (b == 0.0 || (b - 1.0).abs() < 1e-3)
+            },
+            "dot_normalized requires L2-normalized inputs"
+        );
+        self.dot(other).clamp(-1.0, 1.0)
+    }
+
     /// Squared Euclidean distance (the K-Means objective term).
     ///
     /// # Panics
@@ -165,6 +189,16 @@ mod tests {
         let x = vec2(1.0, 2.0);
         let z = Embedding::zeros(2);
         assert_eq!(x.cosine(&z), 0.0);
+    }
+
+    #[test]
+    fn dot_normalized_matches_cosine_on_unit_vectors() {
+        let a = vec2(3.0, 4.0).normalized();
+        let b = vec2(-1.0, 2.0).normalized();
+        assert!((a.dot_normalized(&b) - a.cosine(&b)).abs() < 1e-6);
+        assert!((a.dot_normalized(&a) - 1.0).abs() < 1e-6);
+        let z = Embedding::zeros(2);
+        assert_eq!(a.dot_normalized(&z), 0.0);
     }
 
     #[test]

@@ -33,13 +33,12 @@ pub mod dot;
 pub mod stats;
 pub mod unionfind;
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::hash::Hash;
 
 /// Identifier of a node within one [`PropertyGraph`].
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct NodeId(u32);
 
@@ -57,7 +56,7 @@ impl fmt::Display for NodeId {
 }
 
 /// A directed, labeled edge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Edge<L> {
     /// Source node.
     pub from: NodeId,
@@ -74,7 +73,7 @@ pub struct Edge<L> {
 /// [`PropertyGraph::add_undirected_edge`]; the paper's Table II counts
 /// degrees the same way (average in-degree equals average out-degree for
 /// every relation graph).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PropertyGraph<N, L> {
     nodes: Vec<N>,
     out_adj: Vec<Vec<(NodeId, L)>>,

@@ -27,6 +27,9 @@ pub struct MalGraph {
     primary: HashMap<PackageId, NodeId>,
     /// Similarity diagnostics per ecosystem (chosen k, schedule trace).
     pub similarity_diagnostics: Vec<(Ecosystem, SimilarityOutput)>,
+    /// Wall time of the similarity stage (step 4), the hot path of the
+    /// build — surfaced by `repro`'s per-stage timing report.
+    pub similarity_elapsed: std::time::Duration,
 }
 
 impl MalGraph {
@@ -122,26 +125,48 @@ pub fn build(dataset: &CollectedDataset, options: &BuildOptions) -> MalGraph {
         }
     }
 
-    // 4. Similar edges per ecosystem.
-    let mut similarity_diagnostics = Vec::new();
-    for eco in Ecosystem::ALL {
-        let entries: Vec<(PackageId, &str)> = dataset
-            .packages
+    // 4. Similar edges per ecosystem. The per-ecosystem pipelines are
+    // independent, so they run concurrently; joining and applying edges
+    // in `Ecosystem::ALL` order keeps the graph deterministic regardless
+    // of which pipeline finishes first.
+    let similarity_started = std::time::Instant::now();
+    let jobs: Vec<(Ecosystem, Vec<(PackageId, &str)>)> = Ecosystem::ALL
+        .iter()
+        .map(|&eco| {
+            let entries: Vec<(PackageId, &str)> = dataset
+                .packages
+                .iter()
+                .filter(|p| p.id.ecosystem() == eco)
+                .filter_map(|p| p.archive.as_ref().map(|a| (p.id.clone(), a.code.as_str())))
+                .collect();
+            (eco, entries)
+        })
+        .filter(|(_, entries)| entries.len() >= 2)
+        .collect();
+    let outputs: Vec<SimilarityOutput> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
             .iter()
-            .filter(|p| p.id.ecosystem() == eco)
-            .filter_map(|p| p.archive.as_ref().map(|a| (p.id.clone(), a.code.as_str())))
+            .map(|(_, entries)| {
+                let similarity = &options.similarity;
+                scope.spawn(move |_| similar_pairs(entries, similarity))
+            })
             .collect();
-        if entries.len() < 2 {
-            continue;
-        }
-        let out = similar_pairs(&entries, &options.similarity);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("similarity worker must not panic"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+    let mut similarity_diagnostics = Vec::new();
+    for ((eco, entries), out) in jobs.iter().zip(outputs) {
         for &(a, b) in &out.pairs {
             let na = primary[&entries[a].0];
             let nb = primary[&entries[b].0];
             graph.add_undirected_edge(na, nb, Relation::Similar);
         }
-        similarity_diagnostics.push((eco, out));
+        similarity_diagnostics.push((*eco, out));
     }
+    let similarity_elapsed = similarity_started.elapsed();
 
     // 5. Co-existing cliques per report.
     for report in &dataset.reports {
@@ -163,6 +188,7 @@ pub fn build(dataset: &CollectedDataset, options: &BuildOptions) -> MalGraph {
         graph,
         primary,
         similarity_diagnostics,
+        similarity_elapsed,
     }
 }
 

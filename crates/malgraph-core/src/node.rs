@@ -1,11 +1,10 @@
 //! MALGRAPH nodes and relations.
 
 use oss_types::{Ecosystem, PackageId, Sha256, SimTime, SourceId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The four MALGRAPH relations (paper §III-A).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Relation {
     /// Two nodes are the same package seen through different sources.
     Duplicated,
@@ -49,7 +48,7 @@ impl fmt::Display for Relation {
 /// package version, source, hash value, path, and ecosystem. Name,
 /// version and ecosystem live inside [`PackageId`]; the node id itself is
 /// the graph-store index.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MalNode {
     /// Registry identity (name + version + ecosystem).
     pub package: PackageId,

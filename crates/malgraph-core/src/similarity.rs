@@ -1,7 +1,23 @@
 //! The similar-edge pipeline: source code → AST → embedding → K-Means →
 //! cosine-refined similar pairs (paper §III-A).
+//!
+//! # Determinism contract
+//!
+//! [`similar_pairs`] is deterministic for a given input and config, on
+//! any machine, at any worker count:
+//!
+//! * the K-Means engine guarantees bitwise-identical clusterings at any
+//!   thread count (fixed chunk boundaries, in-index-order merging — see
+//!   `cluster`'s crate docs);
+//! * every fan-out here keys its partial results by input index
+//!   (embedding chunks, refinement clusters) and merges them in that
+//!   index order, never in completion order.
+//!
+//! Future parallelism must keep both properties: work may be *scheduled*
+//! freely, but results must be *combined* in an order derived from the
+//! input alone.
 
-use cluster::{kmeans, KMeansConfig};
+use cluster::{kmeans, kmeans_warm, KMeansConfig};
 use embed::{Embedder, Embedding};
 use oss_types::PackageId;
 use rand::rngs::StdRng;
@@ -122,6 +138,10 @@ pub fn similar_pairs(
     let data: Vec<&[f32]> = vectors.iter().map(|v| v.as_slice()).collect();
 
     // 2. Grow-k K-Means (paper §III-A: start at 3, grow until stable).
+    // Each step warm-starts from the previous step's centroids and
+    // k-means++-seeds only the `next_k - k` new ones, so the schedule
+    // pays incremental refinement instead of a full re-convergence at
+    // every k.
     let mut rng = StdRng::seed_from_u64(config.seed);
     let kconfig = KMeansConfig::default();
     let mut k = 3usize.min(data.len());
@@ -130,7 +150,7 @@ pub fn similar_pairs(
     let max_k = config.max_k.min(data.len());
     while k < max_k {
         let next_k = (((k as f64) * config.growth) as usize).max(k + 1).min(max_k);
-        let next = kmeans(&data, next_k, &kconfig, &mut rng);
+        let next = kmeans_warm(&data, &best.centroids, next_k - k, &kconfig, &mut rng);
         trace.push((next_k, next.inertia));
         let improvement = if best.inertia <= f32::EPSILON {
             0.0
@@ -145,34 +165,71 @@ pub fn similar_pairs(
     }
 
     // 3. Cosine-refined pairs within each cluster. The big clusters
-    // (floods) dominate this O(|c|²) step, so clusters are processed in
-    // parallel and each worker returns its pair list.
+    // (floods) dominate this O(|c|²) step. Workers are bounded by
+    // `available_parallelism` (not one thread per cluster) and clusters
+    // are distributed largest-first onto the least-loaded worker, so one
+    // flood cluster cannot serialize the tail. Embedder outputs are
+    // L2-normalized, so the similarity is a single dot product.
+    // Determinism: each worker tags its output with the cluster index and
+    // the merge flattens in cluster-index order, so the pair list does
+    // not depend on the worker count or scheduling.
     let clusters = best.clusters();
-    let pairs: Vec<(usize, usize)> = crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for members in &clusters {
-            let vectors = &vectors;
-            let owners = &owners;
-            handles.push(scope.spawn(move |_| {
-                let mut local = Vec::new();
-                for a in 0..members.len() {
-                    for b in (a + 1)..members.len() {
-                        let (ia, ib) = (members[a], members[b]);
-                        if vectors[ia].cosine(&vectors[ib]) >= config.threshold {
-                            local.push((owners[ia], owners[ib]));
-                        }
-                    }
-                }
-                local
-            }));
-        }
-        let mut all = Vec::new();
-        for handle in handles {
-            all.extend(handle.join().expect("refine worker must not panic"));
-        }
-        all
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(clusters.len().max(1));
+    let mut order: Vec<usize> = (0..clusters.len()).collect();
+    order.sort_by_key(|&c| std::cmp::Reverse(clusters[c].len()));
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); threads];
+    let mut loads: Vec<u64> = vec![0; threads];
+    for c in order {
+        let w = (0..threads).min_by_key(|&w| loads[w]).expect("threads >= 1");
+        let size = clusters[c].len() as u64;
+        loads[w] += size * size.saturating_sub(1) / 2;
+        buckets[w].push(c);
+    }
+    // Pair lists a worker produces, tagged with their cluster index.
+    type TaggedPairs = Vec<(usize, Vec<(usize, usize)>)>;
+    let mut by_cluster: Vec<Vec<(usize, usize)>> = vec![Vec::new(); clusters.len()];
+    let refined: Vec<TaggedPairs> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .iter()
+            .map(|bucket| {
+                let clusters = &clusters;
+                let vectors = &vectors;
+                let owners = &owners;
+                scope.spawn(move |_| {
+                    bucket
+                        .iter()
+                        .map(|&c| {
+                            let members = &clusters[c];
+                            let mut local = Vec::new();
+                            for a in 0..members.len() {
+                                for b in (a + 1)..members.len() {
+                                    let (ia, ib) = (members[a], members[b]);
+                                    if vectors[ia].dot_normalized(&vectors[ib])
+                                        >= config.threshold
+                                    {
+                                        local.push((owners[ia], owners[ib]));
+                                    }
+                                }
+                            }
+                            (c, local)
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("refine worker must not panic"))
+            .collect()
     })
     .expect("crossbeam scope");
+    for (c, local) in refined.into_iter().flatten() {
+        by_cluster[c] = local;
+    }
+    let pairs: Vec<(usize, usize)> = by_cluster.into_iter().flatten().collect();
     SimilarityOutput {
         pairs,
         chosen_k: best.k(),

@@ -1,9 +1,8 @@
 //! Abstract syntax tree for PyLite.
 
-use serde::{Deserialize, Serialize};
 
 /// A whole source file: a sequence of statements.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Module {
     /// Top-level statements in source order.
     pub body: Vec<Stmt>,
@@ -23,7 +22,7 @@ impl Module {
 }
 
 /// A statement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     /// `import os` / `import os as o`.
     Import {
@@ -150,7 +149,7 @@ impl Stmt {
 }
 
 /// Binary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// `+`
     Add,
@@ -221,7 +220,7 @@ impl BinOp {
 }
 
 /// Unary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnaryOp {
     /// `-`
     Neg,
@@ -230,7 +229,7 @@ pub enum UnaryOp {
 }
 
 /// An expression.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// An identifier reference.
     Name(String),

@@ -13,14 +13,13 @@
 use crate::ast::{BinOp, Expr, Module, Stmt};
 use rand::seq::SliceRandom;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A malicious behaviour family.
 ///
 /// These correspond to the behaviours the paper's introduction lists
 /// (backdoors, sensitive-data theft, payload download, cryptominers) plus
 /// the common families in the referenced report corpus.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Behavior {
     /// Steal environment variables and POST them to a collector.
     ExfilEnv,
@@ -531,7 +530,7 @@ fn fn_def(name: &str, params: Vec<String>, body: Vec<Stmt>) -> Stmt {
 }
 
 /// A small source mutation an attacker applies between release attempts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Mutation {
     /// Swap the hard-coded endpoint / wallet / path string.
     SwapStringLiteral,

@@ -1,6 +1,5 @@
 //! Adversary identities.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An adversary (threat-actor) identity.
@@ -10,7 +9,7 @@ use std::fmt;
 /// `Lolip0p` author of the Colorslib/httpslib/libhttps packages), so the
 /// analyses treat the actor as *ground truth* for validation and never use
 /// it as an input feature.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ActorId(u32);
 
 impl ActorId {

@@ -1,7 +1,6 @@
 //! The ten OSS ecosystems covered by the corpus (paper §II-C).
 
 use crate::error::ParseError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -10,7 +9,7 @@ use std::str::FromStr;
 /// The paper's corpus spans ten ecosystems; PyPI, NPM and RubyGems carry
 /// the overwhelming majority of malicious packages, and the per-ecosystem
 /// analyses (Table VII, Fig. 4) are restricted to those three.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Ecosystem {
     /// The Python Package Index.
     PyPI,

@@ -6,7 +6,6 @@
 //! sources. No hashing crate is on the approved dependency list, so this
 //! module carries a self-contained FIPS 180-4 SHA-256.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 const H0: [u32; 8] = [
@@ -37,7 +36,7 @@ const K: [u32; 64] = [
 ///     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
 /// );
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Sha256([u8; 32]);
 
 impl Sha256 {

@@ -1,7 +1,6 @@
 //! Validated package names and typosquatting distance.
 
 use crate::error::ParseError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 use std::sync::Arc;
@@ -25,8 +24,7 @@ use std::sync::Arc;
 /// assert!("Has Space".parse::<PackageName>().is_err());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PackageName(Arc<str>);
 
 /// Maximum package-name length in bytes (the npm registry limit).

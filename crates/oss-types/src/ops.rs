@@ -5,11 +5,10 @@
 //! a single re-release usually applies several at once, so they are also
 //! collected into an [`OpSet`].
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One changing operation (paper Fig. 12).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ChangeOp {
     /// CN — changing the package name.
     ChangeName,
@@ -77,7 +76,7 @@ impl fmt::Display for ChangeOp {
 /// assert_eq!(ops.to_string(), "(CN, CC)");
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct OpSet(u8);
 

@@ -3,7 +3,6 @@
 use crate::ecosystem::Ecosystem;
 use crate::error::ParseError;
 use crate::name::PackageName;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
@@ -27,7 +26,7 @@ use std::str::FromStr;
 /// assert!(pre < a);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Version {
     major: u32,
     minor: u32,
@@ -185,7 +184,7 @@ impl FromStr for Version {
 /// assert_eq!(id.name().as_str(), "brock-loader");
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PackageId {
     ecosystem: Ecosystem,
     name: PackageName,

@@ -7,12 +7,11 @@
 //! which determines which collection path (`crawler`) handles it.
 
 use crate::error::ParseError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
 /// Category of an online source (Table I, left column).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SourceCategory {
     /// Research datasets published alongside papers.
     Academia,
@@ -33,7 +32,7 @@ impl fmt::Display for SourceCategory {
 }
 
 /// How a source publishes its findings, which selects the collection path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PublicationStyle {
     /// A downloadable dataset of package archives (Maloss, Mal-PyPI,
     /// DataDog) — packages are directly *available*.
@@ -46,7 +45,7 @@ pub enum PublicationStyle {
 }
 
 /// One of the ten online sources of Table I.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SourceId {
     /// Backstabber's Knife Collection (Ohm et al., 2020).
     BackstabberKnife,

@@ -7,7 +7,6 @@
 //! race between mirror synchronization and package removal (paper Fig. 5).
 
 use crate::error::ParseError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 use std::str::FromStr;
@@ -20,7 +19,7 @@ const MINUTES_PER_DAY: u64 = 24 * MINUTES_PER_HOUR;
 
 /// A span of simulated time, stored as whole minutes.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SimDuration(u64);
 
@@ -104,7 +103,7 @@ impl fmt::Display for SimDuration {
 /// timelines (paper Fig. 2, Fig. 8) can be bucketed by calendar month and
 /// printed as dates.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SimTime(u64);
 

@@ -29,10 +29,9 @@ use oss_types::{
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rand_distr::{Distribution, LogNormal};
-use serde::{Deserialize, Serialize};
 
 /// Campaign strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CampaignKind {
     /// Re-release similar code under fresh names.
     Similar,
@@ -57,7 +56,7 @@ impl CampaignKind {
 }
 
 /// Ground-truth record of one campaign.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Campaign {
     /// Index in the world's campaign list.
     pub idx: CampaignIdx,
@@ -210,7 +209,21 @@ impl CampaignPlan {
                 }
             }
 
-            let persistence = sample_persistence(self.mean_persistence_hours, rng);
+            // Flood registrations overwhelm the registry staff: the real
+            // 2023 PyPI flood was cleaned up in bulk sweeps days later,
+            // which is why mirrors caught (and the paper recovered) most
+            // of it. Ordinary releases are pulled at the usual latency.
+            let persistence_mean = if self.kind == CampaignKind::Flood {
+                self.mean_persistence_hours * 12.0
+            } else {
+                self.mean_persistence_hours
+            };
+            let mut persistence = sample_persistence(persistence_mean, rng);
+            if self.kind == CampaignKind::Flood {
+                // The sweep finishes within weeks — no flood package
+                // outlives the collection crawl months later.
+                persistence = persistence.min(SimDuration::days(21));
+            }
             let removed = t + persistence;
             let dl = downloads::ordinary_downloads(persistence.as_minutes() as f64 / 60.0, rng);
             packages.push(build_package(

@@ -65,7 +65,7 @@ impl Default for WorldConfig {
             scale: 0.05,
             collect_time: SimTime::from_ymd(2024, 1, 15),
             mirror_retention_days: 180,
-            admin_detection_mean_hours: 24.0,
+            admin_detection_mean_hours: 5.0,
         }
     }
 }

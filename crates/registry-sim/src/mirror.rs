@@ -10,14 +10,13 @@
 //!    the copy disappears ("release time too early").
 //!
 //! The paper searched 5 NPM + 12 PyPI + 6 RubyGems mirrors; the simulator
-//! instantiates the same fleet with staggered phases and intervals from
-//! hours to a week.
+//! instantiates the same fleet with staggered phases and day-scale
+//! intervals (2 days up to two weeks — full-catalog resyncs are slow).
 
 use oss_types::{Ecosystem, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// One mirror registry.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Mirror {
     /// Ecosystem mirrored.
     pub ecosystem: Ecosystem,
@@ -80,7 +79,7 @@ impl Mirror {
 }
 
 /// The per-ecosystem mirror fleet.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MirrorFleet {
     mirrors: Vec<Mirror>,
 }
@@ -92,8 +91,13 @@ impl MirrorFleet {
         let mut mirrors = Vec::new();
         for eco in Ecosystem::MAJOR {
             for i in 0..eco.mirror_count() {
-                // Intervals from 6 hours up to ~7 days, staggered phases.
-                let hours = 6 + (i as u64 * 31) % 163;
+                // Intervals from 2 up to ~14 days, staggered phases.
+                // Full-catalog sync is expensive, so real mirrors resync
+                // on day-scale cadences — which is what makes "persistence
+                // too short" a leading cause of missing packages (Fig. 5):
+                // a package the admins pull within hours usually vanishes
+                // before any mirror's next sync.
+                let hours = 48 + (i as u64 * 53) % 288;
                 mirrors.push(Mirror {
                     ecosystem: eco,
                     name: format!("{}-mirror-{:02}", eco.slug(), i),
@@ -230,7 +234,10 @@ mod tests {
     #[test]
     fn fastest_interval_exists_for_major_ecosystems() {
         let fleet = MirrorFleet::paper_fleet(540);
-        assert!(fleet.fastest_interval(Ecosystem::PyPI).unwrap() <= SimDuration::days(1));
+        // Day-scale cadence: the fastest mirror resyncs every 2 days, the
+        // slowest within two weeks.
+        let fastest = fleet.fastest_interval(Ecosystem::PyPI).unwrap();
+        assert!(fastest >= SimDuration::days(1) && fastest <= SimDuration::days(3));
         assert_eq!(fleet.fastest_interval(Ecosystem::Rust), None);
     }
 }

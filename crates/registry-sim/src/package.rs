@@ -3,11 +3,10 @@
 use minilang::printer::print_module;
 use minilang::Module;
 use oss_types::{ActorId, OpSet, PackageId, Sha256, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Index of a package within [`crate::world::World::packages`].
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct PkgIdx(pub u32);
 
@@ -20,7 +19,7 @@ impl PkgIdx {
 
 /// Index of a campaign within [`crate::world::World::campaigns`].
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct CampaignIdx(pub u32);
 
@@ -32,7 +31,7 @@ impl CampaignIdx {
 }
 
 /// Why a package cannot be recovered from any mirror (paper Fig. 5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnavailCause {
     /// Released so long ago that every mirror has since reconciled the
     /// deletion (cause 1: "release time is too early").
@@ -50,7 +49,7 @@ pub enum UnavailCause {
 /// Fields marked *ground truth* are known to the simulator but **never**
 /// read by the collection pipeline or MALGRAPH construction — only by
 /// validation code that scores the pipeline's output.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimPackage {
     /// Registry identity (ecosystem / name @ version).
     pub id: PackageId,

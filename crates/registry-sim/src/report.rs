@@ -9,10 +9,9 @@
 
 use crate::package::{CampaignIdx, PkgIdx};
 use oss_types::{PackageId, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Website category (paper Table III).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ReportCategory {
     /// Technical-community sites (forums, project blogs).
     TechnicalCommunity,
@@ -59,7 +58,7 @@ impl std::fmt::Display for ReportCategory {
 }
 
 /// A website that publishes security reports.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Website {
     /// Site name, e.g. `commercial-org-03.example`.
     pub name: String,
@@ -68,7 +67,7 @@ pub struct Website {
 }
 
 /// One security-analysis report.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SecurityReport {
     /// Report id, unique in the world.
     pub id: u32,

@@ -16,11 +16,10 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, LogNormal};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One source naming one package — a row of the collected corpus.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Mention {
     /// The package named.
     pub package: PkgIdx,
@@ -331,11 +330,20 @@ impl Builder {
             };
             last_actor = Some(actor);
             let is_flood = flood && i == flood_index;
-            // The registering-flood attack is a 2023 event in the paper;
+            // The registering-flood attack is a mid/late-2023 event in
+            // the paper, and its packages were recovered from mirrors —
             // a flood buried outside the mirror-retention window would be
-            // invisible to the collector and to Table VII.
+            // invisible to the collector and to Table VII, so the start
+            // is drawn from the window the mirrors still cover at crawl
+            // time (with margin for the campaign to finish and be
+            // disclosed before the crawl).
             let start = if is_flood {
-                self.sample_start_window(2023, 2023)
+                let collect = self.config.collect_time.as_minutes();
+                let retention_margin_days =
+                    self.config.mirror_retention_days.saturating_sub(30).max(60);
+                let lo = collect.saturating_sub(retention_margin_days * 1440);
+                let hi = collect.saturating_sub(45 * 1440).max(lo + 1);
+                SimTime::from_minutes(self.rng.gen_range(lo..hi))
             } else {
                 self.sample_start()
             };

@@ -1,0 +1,173 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro, `prop_assert*` / [`prop_assume!`], range and tuple
+//! strategies, [`collection::vec`], regex-subset string strategies,
+//! [`strategy::Just`], `prop_map`, [`prop_oneof!`] and `any::<T>()`.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **no shrinking** — a failing case reports its inputs via the panic
+//!   message instead of minimizing them;
+//! * cases are generated from a per-test deterministic seed (FNV-1a of
+//!   the test's module path and name), so failures reproduce exactly;
+//! * the default case count is 32 (upstream: 256) — the workspace runs on
+//!   small CI machines and its properties are cheap to falsify.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+mod pattern;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines property tests: `proptest! { #[test] fn f(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])* fn $name:ident ( $( $arg:pat in $strat:expr ),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                let __seed = $crate::test_runner::seed_for(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::case_rng(__seed, __case);
+                    $( let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng); )*
+                    let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(__e) = __result {
+                        panic!(
+                            "proptest {} failed at case {} (seed {:#x}): {}",
+                            stringify!($name),
+                            __case,
+                            __seed,
+                            __e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__left, __right) = (&$a, &$b);
+        if !(*__left == *__right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `(left == right)`\n  left: {:?}\n right: {:?}",
+                    __left, __right
+                ),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__left, __right) = (&$a, &$b);
+        if !(*__left == *__right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `(left == right)`: {}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)*),
+                    __left,
+                    __right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__left, __right) = (&$a, &$b);
+        if *__left == *__right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `(left != right)`\n  left: {:?}\n right: {:?}",
+                    __left, __right
+                ),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__left, __right) = (&$a, &$b);
+        if *__left == *__right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `(left != right)`: {}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)*),
+                    __left,
+                    __right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Discards the current case (counted as a pass) unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Uniform choice between strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}

@@ -1,0 +1,185 @@
+//! Regex-subset string generation.
+//!
+//! Supports what the workspace's tests write: literal characters, `.`,
+//! character classes `[a-z0-9@/.-]` (ranges and literals; `-` literal
+//! when first or last), and the quantifiers `*`, `+`, `?`, `{m}`,
+//! `{m,n}`. `*`/`+` are capped at 16 repetitions; `.` draws from a pool
+//! of printable ASCII, whitespace, markup punctuation and a few
+//! multi-byte characters so fuzz targets see non-trivial input.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Characters `.` can produce.
+const ANY_POOL: &[char] = &[
+    'a', 'b', 'c', 'x', 'y', 'z', 'A', 'Z', '0', '1', '9', ' ', '\t', '\n', '<', '>', '/', '=',
+    '"', '\'', '&', ';', ':', '.', ',', '-', '_', '(', ')', '[', ']', '{', '}', '@', '#', '!',
+    '?', '*', '+', '\\', 'é', 'ß', '漢', '🦀',
+];
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Any,
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize, // inclusive
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                let mut first = true;
+                while i < chars.len() && chars[i] != ']' {
+                    let c = chars[i];
+                    if c == '-' && !first && i + 1 < chars.len() && chars[i + 1] != ']' {
+                        // `-` between two chars extends the previous range;
+                        // handled below when we see `a-z` as a triple.
+                    }
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((c, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((c, c));
+                        i += 1;
+                    }
+                    first = false;
+                }
+                i += 1; // closing ]
+                if ranges.is_empty() {
+                    ranges.push(('a', 'a'));
+                }
+                Atom::Class(ranges)
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                Atom::Literal(chars[i - 1])
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Quantifier?
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '*' => {
+                    i += 1;
+                    (0, 16)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 16)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| i + p)
+                        .unwrap_or(i);
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    if let Some((lo, hi)) = body.split_once(',') {
+                        (
+                            lo.trim().parse().unwrap_or(0),
+                            hi.trim().parse().unwrap_or(8),
+                        )
+                    } else {
+                        let n = body.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn sample_atom(atom: &Atom, rng: &mut StdRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Any => ANY_POOL[rng.gen_range(0..ANY_POOL.len())],
+        Atom::Class(ranges) => {
+            let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+            let (lo, hi) = (lo as u32, hi as u32);
+            let pick = if lo >= hi { lo } else { rng.gen_range(lo..=hi) };
+            char::from_u32(pick).unwrap_or('a')
+        }
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn sample_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = if piece.min >= piece.max {
+            piece.min
+        } else {
+            rng.gen_range(piece.min..=piece.max)
+        };
+        for _ in 0..count {
+            out.push(sample_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_quantifier_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = sample_pattern("[a-z][a-z0-9-]{0,20}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 21, "{s:?}");
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_lowercase(), "{s:?}");
+            assert!(
+                s.chars()
+                    .skip(1)
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_star_produces_varied_strings() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<String> = (0..50).map(|_| sample_pattern(".*", &mut rng)).collect();
+        assert!(samples.iter().any(String::is_empty));
+        assert!(samples.iter().any(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn literal_patterns_pass_through() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(sample_pattern("abc", &mut rng), "abc");
+    }
+}

@@ -1,0 +1,64 @@
+//! Case generation and failure reporting.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A failed property case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Result type of one property case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic per-test seed: FNV-1a over the test's full path.
+pub fn seed_for(test_path: &str) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for b in test_path.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// RNG for one case of one test.
+pub fn case_rng(seed: u64, case: u32) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (u64::from(case).wrapping_mul(0x9e3779b97f4a7c15)))
+}

@@ -1,0 +1,9 @@
+//! Distribution trait (the `rand_distr` companion crate builds on this).
+
+use crate::RngCore;
+
+/// Types that can generate samples of `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+}

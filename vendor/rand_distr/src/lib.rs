@@ -1,0 +1,181 @@
+//! Offline stand-in for the `rand_distr` crate: the distributions the
+//! registry simulator samples (LogNormal via Box–Muller, Poisson via
+//! inversion / normal approximation).
+
+#![forbid(unsafe_code)]
+
+pub use rand::distributions::Distribution;
+use rand::{Rng, RngCore};
+use std::fmt;
+
+/// Invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error {
+    what: &'static str,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Standard normal via Box–Muller (one value per draw; the pair's second
+/// half is discarded to keep the sampler stateless).
+fn standard_normal<R: RngCore>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue; // ln(0) guard
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// Normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates the distribution.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `std_dev` is negative or either parameter is non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal, Error> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error { what: "normal mean/std_dev" });
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates the distribution from the underlying normal's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `sigma` is negative or either parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<LogNormal, Error> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma).map_err(|_| Error { what: "log-normal mu/sigma" })?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// Poisson distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates the distribution.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless `lambda` is positive and finite.
+    pub fn new(lambda: f64) -> Result<Poisson, Error> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(Error { what: "poisson lambda" });
+        }
+        Ok(Poisson { lambda })
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth inversion: multiply uniforms until below e^-lambda.
+            let limit = (-self.lambda).exp();
+            let mut product: f64 = rng.gen::<f64>();
+            let mut count = 0u64;
+            while product > limit {
+                product *= rng.gen::<f64>();
+                count += 1;
+            }
+            count as f64
+        } else {
+            // Normal approximation with continuity correction — fine for
+            // the simulator's large-rate download counts.
+            let sampled = self.lambda + self.lambda.sqrt() * standard_normal(rng) + 0.5;
+            sampled.max(0.0).floor()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, -0.1).is_err());
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_is_positive_with_heavy_tail() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = LogNormal::new(1.0, 1.0).unwrap();
+        let samples: Vec<f64> = (0..5_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let median_ballpark = samples.iter().filter(|&&x| x < 1.0f64.exp()).count();
+        assert!((2000..3000).contains(&median_ballpark), "{median_ballpark}");
+    }
+
+    #[test]
+    fn poisson_mean_tracks_lambda() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &lambda in &[0.5f64, 4.0, 80.0] {
+            let d = Poisson::new(lambda).unwrap();
+            let n = 10_000;
+            let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.sqrt().max(0.2) * 0.2,
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+    }
+}
