@@ -20,4 +20,10 @@ fi
 echo "== cargo test -q"
 cargo test -q
 
+# The fault-tolerance gate, run explicitly so a filtered or skipped
+# harness can never silently drop it: the resilient collector must
+# survive every fault rate (including total blackout) without panicking.
+echo "== cargo test -q --test failure_injection"
+cargo test -q --test failure_injection
+
 echo "CI OK"

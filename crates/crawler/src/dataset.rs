@@ -1,16 +1,32 @@
 //! Dataset assembly: merge all sources, recover from mirrors, crawl the
 //! report corpus — the output the MALGRAPH builder consumes.
+//!
+//! Two entry points:
+//!
+//! * [`collect`] — the zero-fault fast path: every fetch succeeds, no
+//!   health telemetry (legacy behaviour, unchanged callers);
+//! * [`collect_with`] — the resilient collector: every fetch goes
+//!   through the seeded unreliable [`transport`](crate::transport),
+//!   transient failures retry on a bounded backoff schedule, permanent
+//!   failures drop the document instead of panicking, and the run's
+//!   [`CollectionHealth`] is threaded into the dataset. Per-source
+//!   crawls fan out across scoped worker threads and merge in
+//!   [`SourceId::ALL`] order, so the corpus is bitwise-identical at any
+//!   thread count.
 
 use crate::extract;
 use crate::recover::MirrorSearch;
 use crate::registry::{RegistryMeta, RegistryView};
 use crate::sources::{self, Archive, RawMention};
+use crate::transport::{CollectionHealth, FetchHealth, Transport};
+use oss_types::fetch::{FaultConfig, RetryPolicy};
 use oss_types::{PackageId, Sha256, SimTime, SourceId};
+use registry_sim::fault::{channel_id, FaultPlan};
 use registry_sim::{ReportCategory, World};
 use std::collections::HashMap;
 
 /// One distinct package in the merged corpus.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CollectedPackage {
     /// Registry identity.
     pub id: PackageId,
@@ -40,7 +56,7 @@ impl CollectedPackage {
 }
 
 /// One security report crawled from the report-corpus websites.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CollectedReport {
     /// Publishing website name.
     pub website: String,
@@ -67,6 +83,10 @@ pub struct CollectedDataset {
     pub website_count: usize,
     /// When collection ran.
     pub collect_time: SimTime,
+    /// Fetch telemetry of the run. `None` for legacy fault-free corpora
+    /// (the [`collect`] fast path and manifests exported before the
+    /// health schema existed).
+    pub health: Option<CollectionHealth>,
 }
 
 impl CollectedDataset {
@@ -99,18 +119,74 @@ impl CollectedDataset {
     }
 }
 
-/// Runs the full collection pipeline against a world:
+/// Options of the resilient collector ([`collect_with`]).
+#[derive(Debug, Clone, Copy)]
+pub struct CollectOptions {
+    /// Fault rates of the unreliable transport.
+    pub faults: FaultConfig,
+    /// Retry/backoff schedule for transient failures.
+    pub retry: RetryPolicy,
+    /// Worker threads for the per-source crawls. `0` picks the host's
+    /// available parallelism. The corpus is bitwise-identical at any
+    /// value — fault draws are keyed by document, not by thread.
+    pub threads: usize,
+    /// Explicit fault-plan seed; `None` derives it from the world seed,
+    /// so `(world seed, fault config)` alone reproduces a run.
+    pub fault_seed: Option<u64>,
+}
+
+impl Default for CollectOptions {
+    fn default() -> Self {
+        CollectOptions {
+            faults: FaultConfig::NONE,
+            retry: RetryPolicy::STANDARD,
+            threads: 0,
+            fault_seed: None,
+        }
+    }
+}
+
+/// Runs the full collection pipeline against a world — the zero-fault
+/// fast path:
 ///
 /// 1. render + parse every source's feed ([`sources`]);
 /// 2. merge mentions into distinct packages;
 /// 3. search mirrors for everything still unavailable ([`MirrorSearch`]);
 /// 4. crawl the report-corpus websites ([`extract`]).
+///
+/// Equivalent to [`collect_with`] under a fault-free transport, minus
+/// the health report (`dataset.health` is `None`).
 pub fn collect(world: &World) -> CollectedDataset {
-    // 1. Feeds.
+    let mut dataset = collect_with(world, &CollectOptions::default());
+    dataset.health = None;
+    dataset
+}
+
+/// Runs the collection pipeline through the unreliable transport.
+///
+/// Same stages as [`collect`], but every feed document, mirror lookup
+/// and report page is fetched through a seeded fault plan: transient
+/// failures retry with bounded deterministic backoff, permanently
+/// failed documents are dropped (never a panic, at any fault rate), and
+/// per-source [`CollectionHealth`] telemetry is recorded on the
+/// returned dataset. The per-source crawls run on up to
+/// `options.threads` scoped workers and merge in [`SourceId::ALL`]
+/// order, so the corpus for a given `(seed, fault config)` is
+/// bitwise-identical at any thread count.
+pub fn collect_with(world: &World, options: &CollectOptions) -> CollectedDataset {
+    let plan = match options.fault_seed {
+        Some(seed) => FaultPlan::new(seed),
+        None => FaultPlan::for_world(&world.config),
+    };
+    let transport = Transport::new(plan, options.faults, options.retry);
+    let mut health = CollectionHealth::new();
+
+    // 1. Feeds, fanned out per source.
+    let per_source = crawl_feeds(world, &transport, options.threads);
     let mut raw: Vec<RawMention> = Vec::new();
-    for source in SourceId::ALL {
-        let docs = sources::render_feed(world, source);
-        raw.extend(sources::parse_feed(source, &docs));
+    for (source, (mentions, source_health)) in SourceId::ALL.iter().zip(per_source) {
+        raw.extend(mentions);
+        *health.source_mut(*source) = source_health;
     }
 
     // 2. Merge by identity.
@@ -136,15 +212,22 @@ pub fn collect(world: &World) -> CollectedDataset {
     }
 
     // 3. Mirror recovery for the rest, plus public registry metadata.
+    // Each lookup is one fetch keyed by a stable hash of the package
+    // identity, so its fate is independent of iteration order.
     let search = MirrorSearch::new(world);
-    for pkg in merged.values_mut() {
+    for id in &order {
+        let pkg = merged.get_mut(id).expect("merged entry exists");
         pkg.meta = world.metadata(&pkg.id);
-        let mirror_hit = search.lookup(&pkg.id);
-        pkg.mirror_recoverable = mirror_hit.is_some();
-        if pkg.archive.is_none() {
-            if let Some(archive) = mirror_hit {
-                pkg.archive = Some(archive);
-                pkg.recovered_from_mirror = true;
+        let lookup = transport.fetch_mirror_lookup(channel_id(&pkg.id.to_string()));
+        health.mirror.record(&lookup);
+        if lookup.delivered {
+            let mirror_hit = search.lookup(&pkg.id);
+            pkg.mirror_recoverable = mirror_hit.is_some();
+            if pkg.archive.is_none() {
+                if let Some(archive) = mirror_hit {
+                    pkg.archive = Some(archive);
+                    pkg.recovered_from_mirror = true;
+                }
             }
         }
         if let Some(archive) = &pkg.archive {
@@ -157,9 +240,14 @@ pub fn collect(world: &World) -> CollectedDataset {
         }
     }
 
-    // 4. Report corpus.
+    // 4. Report corpus; a dropped page loses that report, nothing else.
     let mut reports = Vec::new();
     for report in &world.reports {
+        let fetch = transport.fetch_report_page(u64::from(report.id));
+        health.report_corpus.record(&fetch);
+        if !fetch.delivered {
+            continue;
+        }
         let website = &world.websites[report.website];
         let html = registry_sim::report::render_html(report, website, |idx| {
             let p = world.package(idx);
@@ -186,6 +274,83 @@ pub fn collect(world: &World) -> CollectedDataset {
         reports,
         website_count: world.websites.len(),
         collect_time: world.config.collect_time,
+        health: Some(health),
+    }
+}
+
+/// Crawls every source's feed through the transport, on up to `threads`
+/// scoped workers (`0` = available parallelism). Returns one
+/// `(mentions, health)` pair per source, in [`SourceId::ALL`] order
+/// regardless of scheduling.
+fn crawl_feeds(
+    world: &World,
+    transport: &Transport,
+    threads: usize,
+) -> Vec<(Vec<RawMention>, FetchHealth)> {
+    let workers = effective_workers(threads).min(SourceId::ALL.len());
+    if workers <= 1 {
+        return SourceId::ALL
+            .iter()
+            .map(|&source| crawl_source(world, source, transport))
+            .collect();
+    }
+    // Sources are striped across workers; each result lands in its
+    // source's fixed slot, so the merge order never depends on timing.
+    let mut slots: Vec<Option<(Vec<RawMention>, FetchHealth)>> =
+        (0..SourceId::ALL.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                scope.spawn(move |_| {
+                    SourceId::ALL
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| i % workers == worker)
+                        .map(|(i, &source)| (i, crawl_source(world, source, transport)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, result) in handle.join().expect("crawl worker must not panic") {
+                slots[i] = Some(result);
+            }
+        }
+    })
+    .expect("crossbeam scope");
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every source crawled"))
+        .collect()
+}
+
+/// Renders one source's feed and fetches each document through the
+/// transport; delivered documents are parsed, dropped ones counted.
+fn crawl_source(
+    world: &World,
+    source: SourceId,
+    transport: &Transport,
+) -> (Vec<RawMention>, FetchHealth) {
+    let mut health = FetchHealth::default();
+    let mut mentions = Vec::new();
+    let documents = sources::render_feed(world, source);
+    for (index, document) in documents.iter().enumerate() {
+        let outcome = transport.fetch_feed_document(source, index);
+        health.record(&outcome);
+        if outcome.delivered {
+            mentions.extend(sources::parse_feed(source, std::slice::from_ref(document)));
+        }
+    }
+    (mentions, health)
+}
+
+fn effective_workers(threads: usize) -> usize {
+    if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
     }
 }
 
@@ -280,5 +445,48 @@ mod tests {
         let (_, ds) = dataset();
         let unavailable = ds.packages.iter().filter(|p| !p.is_available()).count();
         assert!(unavailable > 0, "the missing-rate analysis needs misses");
+    }
+
+    #[test]
+    fn legacy_collect_has_no_health_report() {
+        let (_, ds) = dataset();
+        assert!(ds.health.is_none(), "the fast path is the legacy corpus");
+    }
+
+    #[test]
+    fn fault_free_collect_with_matches_legacy_collect() {
+        let world = World::generate(WorldConfig::small(11));
+        let legacy = collect(&world);
+        let resilient = collect_with(&world, &CollectOptions::default());
+        assert_eq!(legacy.packages.len(), resilient.packages.len());
+        for (a, b) in legacy.packages.iter().zip(&resilient.packages) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.mentions, b.mentions);
+            assert_eq!(a.signature, b.signature);
+            assert_eq!(a.archive, b.archive);
+        }
+        assert_eq!(legacy.reports.len(), resilient.reports.len());
+        let health = resilient.health.expect("collect_with reports health");
+        assert!(health.is_fault_free());
+        assert_eq!(health.total().dropped, 0);
+    }
+
+    #[test]
+    fn single_threaded_crawl_equals_parallel_crawl() {
+        let world = World::generate(WorldConfig::small(13));
+        let base = CollectOptions {
+            faults: FaultConfig::mixed(0.35),
+            threads: 1,
+            ..CollectOptions::default()
+        };
+        let serial = collect_with(&world, &base);
+        let parallel = collect_with(&world, &CollectOptions { threads: 8, ..base });
+        assert_eq!(serial.packages.len(), parallel.packages.len());
+        for (a, b) in serial.packages.iter().zip(&parallel.packages) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.mentions, b.mentions);
+            assert_eq!(a.archive, b.archive);
+        }
+        assert_eq!(serial.health, parallel.health, "telemetry is deterministic too");
     }
 }

@@ -14,6 +14,7 @@
 use crate::dataset::{CollectedDataset, CollectedPackage, CollectedReport};
 use crate::registry::RegistryMeta;
 use crate::sources::Archive;
+use crate::transport::{CollectionHealth, FetchHealth};
 use oss_types::{PackageId, Sha256, SimTime, SourceId};
 use registry_sim::ReportCategory;
 use std::fmt;
@@ -139,14 +140,21 @@ pub fn export_json(
             }
         })
         .collect();
-    let manifest = jsonio::object! {
+    let jsonio::Value::Object(mut manifest) = (jsonio::object! {
         "format_version": 1u32,
         "collect_time": time_value(dataset.collect_time),
         "website_count": dataset.website_count,
         "packages": packages,
         "reports": reports,
+    }) else {
+        unreachable!("object! builds an object");
     };
-    Ok(manifest.to_pretty())
+    // The health key is only present for resilient-collector corpora;
+    // its absence marks a fault-free legacy manifest.
+    if let Some(health) = &dataset.health {
+        manifest.push(("health".to_string(), health_value(health)));
+    }
+    Ok(jsonio::Value::Object(manifest).to_pretty())
 }
 
 /// Deserializes a corpus previously written by [`export_json`].
@@ -296,12 +304,80 @@ pub fn import_json(json: &str) -> Result<CollectedDataset, ExportError> {
             },
         });
     }
+    let health = match root.get("health") {
+        None | Some(jsonio::Value::Null) => None,
+        Some(value) => Some(read_health(value)?),
+    };
     Ok(CollectedDataset {
         packages,
         reports,
         website_count,
         collect_time,
+        health,
     })
+}
+
+fn fetch_health_value(health: &FetchHealth) -> jsonio::Value {
+    jsonio::object! {
+        "attempts": health.attempts,
+        "retries": health.retries,
+        "recovered": health.recovered,
+        "delivered": health.delivered,
+        "dropped": health.dropped,
+        "backoff_ms": health.backoff_ms,
+    }
+}
+
+fn health_value(health: &CollectionHealth) -> jsonio::Value {
+    let sources: Vec<jsonio::Value> = health
+        .sources
+        .iter()
+        .map(|(source, h)| {
+            let jsonio::Value::Object(mut members) = fetch_health_value(h) else {
+                unreachable!("object! builds an object");
+            };
+            members.insert(0, ("source".to_string(), source.slug().into()));
+            jsonio::Value::Object(members)
+        })
+        .collect();
+    jsonio::object! {
+        "sources": sources,
+        "mirror": fetch_health_value(&health.mirror),
+        "report_corpus": fetch_health_value(&health.report_corpus),
+    }
+}
+
+fn read_fetch_health(value: &jsonio::Value) -> Result<FetchHealth, ExportError> {
+    let field = |key: &str| -> Result<u64, ExportError> {
+        require(value, key)?
+            .as_u64()
+            .ok_or_else(|| bad_field("health counter"))
+    };
+    Ok(FetchHealth {
+        attempts: field("attempts")?,
+        retries: field("retries")?,
+        recovered: field("recovered")?,
+        delivered: field("delivered")?,
+        dropped: field("dropped")?,
+        backoff_ms: field("backoff_ms")?,
+    })
+}
+
+fn read_health(value: &jsonio::Value) -> Result<CollectionHealth, ExportError> {
+    let mut health = CollectionHealth::new();
+    for row in require(value, "sources")?
+        .as_array()
+        .ok_or_else(|| bad_field("health.sources"))?
+    {
+        let source: SourceId = require(row, "source")?
+            .as_str()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad_field("health.sources.source"))?;
+        *health.source_mut(source) = read_fetch_health(row)?;
+    }
+    health.mirror = read_fetch_health(require(value, "mirror")?)?;
+    health.report_corpus = read_fetch_health(require(value, "report_corpus")?)?;
+    Ok(health)
 }
 
 fn require<'v>(value: &'v jsonio::Value, key: &str) -> Result<&'v jsonio::Value, ExportError> {
@@ -414,6 +490,29 @@ mod tests {
             "recovered_from_mirror":false,"mirror_recoverable":false,"meta":null}],
             "reports":[]}"#;
         assert!(import_json(bad_id).is_err());
+    }
+
+    #[test]
+    fn health_round_trips_and_legacy_manifests_have_none() {
+        let world = World::generate(WorldConfig::small(101));
+        // Legacy corpus: no health key in the manifest at all.
+        let legacy = collect(&world);
+        let json = export_json(&legacy, ExportFidelity::Full).unwrap();
+        assert!(!json.contains("\"health\""));
+        assert!(import_json(&json).unwrap().health.is_none());
+        // Resilient corpus: health survives the round trip exactly.
+        let faulty = crate::dataset::collect_with(
+            &world,
+            &crate::dataset::CollectOptions {
+                faults: oss_types::FaultConfig::mixed(0.4),
+                ..Default::default()
+            },
+        );
+        let json = export_json(&faulty, ExportFidelity::ManifestOnly).unwrap();
+        assert!(json.contains("\"health\""));
+        let imported = import_json(&json).unwrap();
+        assert_eq!(imported.health, faulty.health);
+        assert!(imported.health.unwrap().total().dropped > 0);
     }
 
     #[test]

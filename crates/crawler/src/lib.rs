@@ -9,8 +9,14 @@
 //! * [`sources`] — adapters for the three publication styles (dataset
 //!   dumps, advisory pages, SNS feeds), rendering and re-parsing each;
 //! * [`recover`] — mirror-registry search for removed packages;
+//! * [`transport`] — the unreliable-transport layer: every simulated
+//!   fetch passes through a seeded fault plan (transient errors,
+//!   timeouts, truncated/corrupted payloads, permanent 404s) with
+//!   bounded deterministic retry/backoff and per-source health
+//!   telemetry;
 //! * [`dataset`] — the merged [`dataset::CollectedDataset`], the sole
-//!   input of the MALGRAPH builder;
+//!   input of the MALGRAPH builder; [`collect`] is the zero-fault fast
+//!   path, [`collect_with`] the resilient collector;
 //! * [`export`] — corpus serialization (the paper's dataset-transparency
 //!   website: names + signatures public, archives on request).
 //!
@@ -37,8 +43,12 @@ pub mod html;
 pub mod recover;
 pub mod registry;
 pub mod sources;
+pub mod transport;
 
-pub use dataset::{collect, CollectedDataset, CollectedPackage, CollectedReport};
+pub use dataset::{
+    collect, collect_with, CollectOptions, CollectedDataset, CollectedPackage, CollectedReport,
+};
 pub use export::{export_json, import_json, ExportFidelity};
 pub use registry::{RegistryMeta, RegistryView};
 pub use sources::{Archive, RawMention};
+pub use transport::{CollectionHealth, FetchHealth, FetchOutcome, Transport};

@@ -133,6 +133,7 @@ mod tests {
             reports: vec![],
             website_count: 0,
             collect_time: oss_types::SimTime::EPOCH,
+            health: None,
         };
         let census = typosquat_census(&ds, None);
         assert_eq!(census.squat_rate(), 0.0);

@@ -5,7 +5,7 @@ use crate::similarity::{similar_pairs, SimilarityConfig, SimilarityOutput};
 use crawler::CollectedDataset;
 use graphstore::{NodeId, PropertyGraph};
 use oss_types::{Ecosystem, PackageId};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Options of the graph builder.
 #[derive(Debug, Clone, Default)]
@@ -104,6 +104,10 @@ pub fn build(dataset: &CollectedDataset, options: &BuildOptions) -> MalGraph {
             .or_default()
             .push(&pkg.id);
     }
+    // `PropertyGraph::has_edge` is a linear scan of the adjacency list;
+    // probing it inside these nested loops is quadratic-times-degree on
+    // large reports. A local seen-pair set gives the same dedup in O(1).
+    let mut seen_dependency: HashSet<(NodeId, NodeId)> = HashSet::new();
     for pkg in &dataset.packages {
         let Some(archive) = &pkg.archive else {
             continue;
@@ -118,7 +122,7 @@ pub fn build(dataset: &CollectedDataset, options: &BuildOptions) -> MalGraph {
                     continue;
                 }
                 let to = primary[*target];
-                if !graph.has_edge(from, to, Relation::Dependency) {
+                if seen_dependency.insert((from, to)) {
                     graph.add_edge(from, to, Relation::Dependency);
                 }
             }
@@ -168,16 +172,24 @@ pub fn build(dataset: &CollectedDataset, options: &BuildOptions) -> MalGraph {
     }
     let similarity_elapsed = similarity_started.elapsed();
 
-    // 5. Co-existing cliques per report.
+    // 5. Co-existing cliques per report. Externally produced corpora can
+    // name the same package twice in one report; deduping here keeps the
+    // clique irreflexive (`add_undirected_edge` asserts a ≠ b) for both
+    // `collect` and `import_json` inputs. Cross-report repeats are
+    // deduped by the seen-pair set, replacing the `has_edge` linear scan.
+    let mut seen_coexisting: HashSet<(NodeId, NodeId)> = HashSet::new();
     for report in &dataset.reports {
+        let mut in_report: HashSet<NodeId> = HashSet::new();
         let nodes: Vec<NodeId> = report
             .packages
             .iter()
             .filter_map(|id| primary.get(id).copied())
+            .filter(|node| in_report.insert(*node))
             .collect();
         for a in 0..nodes.len() {
             for b in (a + 1)..nodes.len() {
-                if !graph.has_edge(nodes[a], nodes[b], Relation::Coexisting) {
+                if seen_coexisting.insert((nodes[a], nodes[b])) {
+                    seen_coexisting.insert((nodes[b], nodes[a]));
                     graph.add_undirected_edge(nodes[a], nodes[b], Relation::Coexisting);
                 }
             }
@@ -335,6 +347,41 @@ mod tests {
         let dg = graph.relation_stats(Relation::Duplicated);
         assert!(dg.nodes > 0);
         assert!(dg.edges >= dg.nodes, "cliques have at least n edges (directed)");
+    }
+
+    #[test]
+    fn duplicated_package_in_report_builds_without_panicking() {
+        let (_, mut dataset, _) = built();
+        // A report naming the same package twice used to trip the
+        // irreflexivity assert in `add_undirected_edge`.
+        let report = dataset
+            .reports
+            .iter_mut()
+            .find(|r| !r.packages.is_empty())
+            .expect("reports exist");
+        let dup = report.packages[0].clone();
+        report.packages.push(dup);
+        let graph = build(&dataset, &BuildOptions::default());
+        assert!(graph.package_count() > 0);
+    }
+
+    #[test]
+    fn dependency_and_coexisting_edges_are_deduplicated() {
+        let (_, _, graph) = built();
+        for relation in [Relation::Dependency, Relation::Coexisting] {
+            let edges: Vec<(NodeId, NodeId)> = graph
+                .graph
+                .edges()
+                .filter(|e| e.label == relation)
+                .map(|e| (e.from, e.to))
+                .collect();
+            let distinct: std::collections::HashSet<_> = edges.iter().copied().collect();
+            assert_eq!(
+                edges.len(),
+                distinct.len(),
+                "{relation:?} contains duplicate directed edges"
+            );
+        }
     }
 
     #[test]

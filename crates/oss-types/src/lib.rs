@@ -15,7 +15,10 @@
 //! * [`ChangeOp`] — the five *changing operations* between consecutive
 //!   release attempts of a campaign (Fig. 12): CN, CV, CD, CDep, CC;
 //! * [`ActorId`] — an adversary identity used by the simulator and, where
-//!   reports disclose it, by the analyses.
+//!   reports disclose it, by the analyses;
+//! * [`FetchError`] / [`FaultConfig`] / [`RetryPolicy`] — the collection
+//!   transport's fault model: failure categories, per-category rates and
+//!   the bounded deterministic backoff schedule.
 //!
 //! # Examples
 //!
@@ -38,6 +41,7 @@
 pub mod actor;
 pub mod ecosystem;
 pub mod error;
+pub mod fetch;
 pub mod hash;
 pub mod name;
 pub mod ops;
@@ -48,6 +52,7 @@ pub mod time;
 pub use actor::ActorId;
 pub use ecosystem::Ecosystem;
 pub use error::ParseError;
+pub use fetch::{FaultConfig, FetchError, RetryPolicy};
 pub use hash::Sha256;
 pub use name::PackageName;
 pub use ops::{ChangeOp, OpSet};

@@ -51,7 +51,12 @@ pub fn trojan_base_downloads(rng: &mut impl Rng) -> u64 {
 /// version multiplies the base.
 pub fn trojan_downloads(base: u64, attempt: usize, rng: &mut impl Rng) -> u64 {
     let growth: f64 = rng.gen_range(1.3..2.4);
-    let scaled = (base as f64) * growth.powi(attempt as i32);
+    // Clamp the exponent *before* the i32 cast: a huge `attempt` would
+    // otherwise wrap negative (turning growth into decay) or push the
+    // power to `inf` ahead of the band clamp below. 64 is already past
+    // saturation — 1.3⁶⁴ alone exceeds the download cap for any base ≥ 9.
+    const MAX_EXPONENT: usize = 64;
+    let scaled = (base as f64) * growth.powi(attempt.min(MAX_EXPONENT) as i32);
     // Even the most popular hijacked packages sit in the 10⁷–10⁸ band
     // (the paper's top IDN is 66,092,932).
     scaled.min(1.6e8) as u64
@@ -117,5 +122,36 @@ mod tests {
         let v3 = trojan_downloads(base, 3, &mut rng);
         assert!(v3 > v0, "attempt 3 ({v3}) should exceed attempt 0 ({v0})");
         assert!(trojan_downloads(100_000_000, 9, &mut rng) <= 160_000_000);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// Extreme attempt counts (up to `usize::MAX`) must neither
+            /// overflow past the band clamp nor wrap the exponent
+            /// negative and invert growth into decay.
+            #[test]
+            fn trojan_downloads_extreme_attempts_stay_in_band(
+                seed in any::<u64>(),
+                base in 0u64..200_000_000,
+                attempt in any::<usize>(),
+            ) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let d = trojan_downloads(base, attempt, &mut rng);
+                prop_assert!(d <= 160_000_000, "band clamp violated: {d}");
+                // Same seed ⇒ same growth draw ⇒ growth never inverts:
+                // any later attempt is at least attempt 0's count.
+                let mut rng0 = StdRng::seed_from_u64(seed);
+                let d0 = trojan_downloads(base, 0, &mut rng0);
+                prop_assert!(
+                    d >= d0,
+                    "attempt {attempt} ({d}) fell below attempt 0 ({d0})"
+                );
+            }
+        }
     }
 }

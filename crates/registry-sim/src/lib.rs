@@ -10,6 +10,9 @@
 //!   life cycle {changing → release → detection → removal} (Fig. 6/10),
 //!   in four strategies: similar re-release, dependency hiding, flood
 //!   registration, and trojaned popular packages;
+//! * [`fault`] — deterministic fault-plan seeding for the collection
+//!   transport: every simulated fetch draws its fate from a counter
+//!   stream keyed by `(seed, channel, document, attempt)`;
 //! * [`mirror`] — mirror registries lag the root registry; the race
 //!   between sync cadence and removal decides recoverability (Fig. 5);
 //! * [`report`] — security websites publish HTML reports naming package
@@ -38,6 +41,7 @@ pub mod calibration;
 pub mod campaign;
 pub mod config;
 pub mod downloads;
+pub mod fault;
 pub mod mirror;
 pub mod names;
 pub mod package;
@@ -46,6 +50,7 @@ pub mod world;
 
 pub use campaign::{Campaign, CampaignKind};
 pub use config::WorldConfig;
+pub use fault::FaultPlan;
 pub use mirror::{Mirror, MirrorFleet};
 pub use package::{CampaignIdx, PkgIdx, SimPackage, UnavailCause};
 pub use report::{ReportCategory, SecurityReport, Website};

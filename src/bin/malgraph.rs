@@ -3,15 +3,22 @@
 //! ```text
 //! malgraph world   [--seed N] [--scale F]            # world statistics
 //! malgraph collect [--seed N] [--scale F] --out P    # corpus → JSON
-//!                  [--manifest-only]
+//!                  [--manifest-only] [--fault-rate F] [--retries N]
+//!                  [--fault-seed N] [--threads N]
 //! malgraph analyze --corpus P                        # JSON → MALGRAPH → summary
 //! malgraph scan <file.pyl> [name]                    # detectors on one file
 //! ```
 //!
 //! `collect` + `analyze` round-trip through the export format, the flow a
-//! downstream lab would use with a published corpus.
+//! downstream lab would use with a published corpus. With `--fault-rate`
+//! the collection runs through the unreliable transport — transient
+//! faults at the given rate, bounded retry/backoff — and prints the
+//! per-source health table.
 
-use malgraph::crawler::{collect, export_json, import_json, ExportFidelity};
+use malgraph::crawler::{
+    collect, collect_with, export_json, import_json, CollectOptions, CollectionHealth,
+    ExportFidelity, FetchHealth,
+};
 use malgraph::detector::{DynamicDetector, StaticDetector};
 use malgraph::malgraph_core::analysis::{actors, diversity, evolution, overlap, quality};
 use malgraph::malgraph_core::{build, BuildOptions};
@@ -30,6 +37,7 @@ fn main() {
                  \n\
                  world   [--seed N] [--scale F]\n\
                  collect [--seed N] [--scale F] --out corpus.json [--manifest-only]\n\
+                 \x20        [--fault-rate F] [--retries N] [--fault-seed N] [--threads N]\n\
                  analyze --corpus corpus.json\n\
                  scan <file.pyl> [package-name]"
             );
@@ -44,6 +52,10 @@ struct CommonOpts {
     out: Option<String>,
     corpus: Option<String>,
     manifest_only: bool,
+    fault_rate: Option<f64>,
+    retries: Option<u32>,
+    fault_seed: Option<u64>,
+    threads: Option<usize>,
     positional: Vec<String>,
 }
 
@@ -54,16 +66,39 @@ fn parse_opts(args: &[String]) -> CommonOpts {
         out: None,
         corpus: None,
         manifest_only: false,
+        fault_rate: None,
+        retries: None,
+        fault_seed: None,
+        threads: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--seed" => opts.seed = next_parsed(&mut it, "--seed"),
-            "--scale" => opts.scale = next_parsed(&mut it, "--scale"),
+            "--scale" => {
+                let scale: f64 = next_parsed(&mut it, "--scale");
+                if !scale.is_finite() || scale <= 0.0 || scale > 1.0 {
+                    die("--scale must be a finite value in (0, 1]");
+                }
+                opts.scale = scale;
+            }
             "--out" => opts.out = Some(next_str(&mut it, "--out")),
             "--corpus" => opts.corpus = Some(next_str(&mut it, "--corpus")),
             "--manifest-only" => opts.manifest_only = true,
+            "--fault-rate" => {
+                let rate: f64 = next_parsed(&mut it, "--fault-rate");
+                if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                    die("--fault-rate must be a finite value in [0, 1]");
+                }
+                opts.fault_rate = Some(rate);
+            }
+            "--retries" => opts.retries = Some(next_parsed(&mut it, "--retries")),
+            "--fault-seed" => opts.fault_seed = Some(next_parsed(&mut it, "--fault-seed")),
+            "--threads" => opts.threads = Some(next_parsed(&mut it, "--threads")),
+            other if other.starts_with('-') => {
+                die(&format!("unknown flag {other} (run `malgraph` with no arguments for usage)"))
+            }
             other => opts.positional.push(other.to_string()),
         }
     }
@@ -121,7 +156,25 @@ fn cmd_collect(args: &[String]) {
         die("collect requires --out <path>");
     };
     let world = generate(&opts);
-    let corpus = collect(&world);
+    let resilient = opts.fault_rate.is_some()
+        || opts.retries.is_some()
+        || opts.fault_seed.is_some()
+        || opts.threads.is_some();
+    let corpus = if resilient {
+        use malgraph::oss_types::{FaultConfig, RetryPolicy};
+        let mut collect_opts = CollectOptions {
+            faults: FaultConfig::transient(opts.fault_rate.unwrap_or(0.0)),
+            fault_seed: opts.fault_seed,
+            threads: opts.threads.unwrap_or(0),
+            ..CollectOptions::default()
+        };
+        if let Some(retries) = opts.retries {
+            collect_opts.retry = RetryPolicy::with_retries(retries);
+        }
+        collect_with(&world, &collect_opts)
+    } else {
+        collect(&world)
+    };
     let fidelity = if opts.manifest_only {
         ExportFidelity::ManifestOnly
     } else {
@@ -136,6 +189,35 @@ fn cmd_collect(args: &[String]) {
         corpus.reports.len(),
         json.len()
     );
+    if let Some(health) = &corpus.health {
+        print_health(health);
+    }
+}
+
+fn print_health(health: &CollectionHealth) {
+    println!("\n-- collection health");
+    println!(
+        "{:<16} {:>6} {:>9} {:>8} {:>10} {:>8} {:>12}",
+        "channel", "docs", "attempts", "retries", "recovered", "dropped", "backoff(ms)"
+    );
+    let row = |label: &str, h: &FetchHealth| {
+        println!(
+            "{:<16} {:>6} {:>9} {:>8} {:>10} {:>8} {:>12}",
+            label,
+            h.documents(),
+            h.attempts,
+            h.retries,
+            h.recovered,
+            h.dropped,
+            h.backoff_ms
+        );
+    };
+    for (source, h) in &health.sources {
+        row(source.slug(), h);
+    }
+    row("mirror", &health.mirror);
+    row("report-corpus", &health.report_corpus);
+    row("total", &health.total());
 }
 
 fn cmd_analyze(args: &[String]) {

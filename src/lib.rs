@@ -39,9 +39,13 @@ pub use registry_sim;
 
 /// The most common imports for working with the reproduction.
 pub mod prelude {
-    pub use crawler::{collect, CollectedDataset, RegistryView};
+    pub use crawler::{
+        collect, collect_with, CollectOptions, CollectedDataset, CollectionHealth, RegistryView,
+    };
     pub use malgraph_core::{build, BuildOptions, MalGraph, Relation, SimilarityConfig};
-    pub use oss_types::{ChangeOp, Ecosystem, PackageId, SimDuration, SimTime, SourceId};
+    pub use oss_types::{
+        ChangeOp, Ecosystem, FaultConfig, PackageId, RetryPolicy, SimDuration, SimTime, SourceId,
+    };
     pub use registry_sim::{CampaignKind, World, WorldConfig};
 }
 

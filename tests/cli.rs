@@ -91,3 +91,73 @@ fn bad_usage_exits_with_error() {
     let out = bin().args(["analyze"]).output().expect("binary runs");
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn invalid_scale_values_are_rejected() {
+    for scale in ["0", "-0.5", "1.5", "nan", "inf"] {
+        let out = bin()
+            .args(["world", "--scale", scale])
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "--scale {scale} must be rejected");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("--scale"), "{err}");
+    }
+}
+
+#[test]
+fn unknown_flags_are_rejected() {
+    let out = bin()
+        .args(["world", "--sedd", "5"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag --sedd"), "{err}");
+}
+
+#[test]
+fn faulty_collect_prints_the_health_table_and_round_trips() {
+    let dir = std::env::temp_dir().join(format!("malgraph-fault-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus = dir.join("corpus.json");
+
+    let out = bin()
+        .args([
+            "collect",
+            "--seed",
+            "5",
+            "--scale",
+            "0.02",
+            "--fault-rate",
+            "0.3",
+            "--retries",
+            "3",
+            "--out",
+            corpus.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("collection health"), "{text}");
+    assert!(text.contains("report-corpus"), "{text}");
+    assert!(text.contains("total"), "{text}");
+
+    // The resilient manifest is still a valid analyze input.
+    let out = bin()
+        .args(["analyze", "--corpus", corpus.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Out-of-range fault rates die with usage errors.
+    let out = bin()
+        .args(["collect", "--fault-rate", "1.5", "--out", "x.json"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--fault-rate"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -2,7 +2,7 @@
 //! gracefully on mangled input, tiny worlds, and hostile page content.
 
 use malgraph::crawler::sources::{parse_feed, FeedFormat};
-use malgraph::crawler::{collect, extract};
+use malgraph::crawler::{collect, extract, import_json};
 use malgraph::malgraph_core::{build, BuildOptions, SimilarityConfig};
 use malgraph::prelude::*;
 
@@ -108,4 +108,166 @@ fn zero_retention_mirrors_lose_almost_everything() {
     assert_eq!(recovered, 0, "zero retention must defeat mirror recovery");
     // Dumps still work.
     assert!(corpus.packages.iter().any(|p| p.is_available()));
+}
+
+// ---------------------------------------------------------------------------
+// Unreliable-transport sweeps: the resilient collector must degrade
+// gracefully at every fault rate, never panic, and stay deterministic
+// across thread counts.
+// ---------------------------------------------------------------------------
+
+fn sweep_world() -> World {
+    World::generate(WorldConfig::small(77))
+}
+
+#[test]
+fn zero_fault_rate_reproduces_the_legacy_corpus() {
+    let world = sweep_world();
+    let legacy = collect(&world);
+    let resilient = collect_with(
+        &world,
+        &CollectOptions {
+            faults: FaultConfig::transient(0.0),
+            ..CollectOptions::default()
+        },
+    );
+    assert_eq!(resilient.packages, legacy.packages);
+    assert_eq!(resilient.reports, legacy.reports);
+    let health = resilient.health.expect("resilient collector reports health");
+    assert!(health.is_fault_free(), "no faults at rate 0");
+}
+
+#[test]
+fn moderate_fault_rate_recovers_most_of_the_corpus() {
+    let world = sweep_world();
+    let baseline = collect(&world);
+    let resilient = collect_with(
+        &world,
+        &CollectOptions {
+            faults: FaultConfig::transient(0.30),
+            retry: RetryPolicy::with_retries(3),
+            ..CollectOptions::default()
+        },
+    );
+    let health = resilient.health.as_ref().expect("health present");
+    let total = health.total();
+    assert!(total.retries > 0, "30% transient rate must trigger retries");
+    assert!(total.recovered > 0, "retries must recover documents");
+    // The acceptance bar: ≥95% of the fault-free package count survives.
+    let kept = resilient.packages.len() as f64;
+    let full = baseline.packages.len() as f64;
+    assert!(
+        kept >= full * 0.95,
+        "expected ≥95% recovery, got {kept}/{full}"
+    );
+}
+
+#[test]
+fn total_blackout_yields_an_empty_corpus_without_panicking() {
+    let world = sweep_world();
+    for faults in [FaultConfig::transient(1.0), FaultConfig::mixed(1.0)] {
+        let resilient = collect_with(
+            &world,
+            &CollectOptions {
+                faults,
+                retry: RetryPolicy::with_retries(2),
+                ..CollectOptions::default()
+            },
+        );
+        assert!(resilient.packages.is_empty(), "blackout delivers nothing");
+        assert!(resilient.reports.is_empty());
+        let health = resilient.health.expect("health present");
+        let total = health.total();
+        assert_eq!(total.delivered, 0);
+        assert!(total.dropped > 0);
+    }
+}
+
+#[test]
+fn fault_sweep_is_deterministic_across_thread_counts() {
+    let world = sweep_world();
+    for rate in [0.0, 0.15, 0.30, 0.60] {
+        let run = |threads: usize| {
+            collect_with(
+                &world,
+                &CollectOptions {
+                    faults: FaultConfig::mixed(rate),
+                    retry: RetryPolicy::with_retries(2),
+                    threads,
+                    ..CollectOptions::default()
+                },
+            )
+        };
+        let single = run(1);
+        let parallel = run(7);
+        assert_eq!(single.packages, parallel.packages, "rate {rate}");
+        assert_eq!(single.reports, parallel.reports, "rate {rate}");
+        assert_eq!(single.health, parallel.health, "rate {rate}");
+    }
+}
+
+#[test]
+fn health_totals_reconcile_at_every_rate() {
+    let world = sweep_world();
+    for rate in [0.0, 0.30, 0.75, 1.0] {
+        let resilient = collect_with(
+            &world,
+            &CollectOptions {
+                faults: FaultConfig::transient(rate),
+                retry: RetryPolicy::with_retries(3),
+                ..CollectOptions::default()
+            },
+        );
+        let health = resilient.health.expect("health present");
+        let total = health.total();
+        // Accounting identities: every attempt is either the first try of
+        // a document or a retry; every document is delivered or dropped.
+        assert_eq!(total.attempts, total.documents() + total.retries, "rate {rate}");
+        assert_eq!(total.documents(), total.delivered + total.dropped, "rate {rate}");
+        assert!(total.recovered <= total.delivered, "rate {rate}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regression: a report listing the same package twice used to panic the
+// builder (`assert_ne!` on a self-consistent duplicate coexisting edge).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn duplicate_package_in_imported_report_does_not_panic_the_builder() {
+    let manifest = r#"{
+        "format_version": 1,
+        "collect_time": 500000,
+        "website_count": 1,
+        "packages": [
+            {"id": "npm/left-pad@1.0.0",
+             "mentions": [["phylum", 400000]],
+             "sha256": null,
+             "recovered_from_mirror": false,
+             "mirror_recoverable": false,
+             "meta": null},
+            {"id": "npm/right-pad@1.0.0",
+             "mentions": [["socket", 400000]],
+             "sha256": null,
+             "recovered_from_mirror": false,
+             "mirror_recoverable": false,
+             "meta": null}
+        ],
+        "reports": [
+            {"website": "blog.example.net",
+             "category": "commercial",
+             "published": 450000,
+             "title": "left-pad typosquat wave",
+             "packages": ["npm/left-pad@1.0.0",
+                          "npm/left-pad@1.0.0",
+                          "npm/right-pad@1.0.0"],
+             "actor": null}
+        ]
+    }"#;
+    let corpus = import_json(manifest).expect("manifest parses");
+    let graph = build(&corpus, &BuildOptions::default());
+    // The duplicated listing still yields exactly one coexisting pair.
+    let coexisting: Vec<_> = graph.groups(Relation::Coexisting);
+    assert_eq!(coexisting.len(), 1);
+    assert_eq!(coexisting[0].len(), 2);
 }
