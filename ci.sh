@@ -26,4 +26,18 @@ cargo test -q
 echo "== cargo test -q --test failure_injection"
 cargo test -q --test failure_injection
 
+# The observability gates, run explicitly for the same reason:
+#  * obs unit tests — histogram bucket boundaries, deterministic shard
+#    merge, span accounting;
+#  * obs_instrumentation — instrumented runs stay bitwise identical to
+#    uninstrumented runs at 1 and 7 threads;
+#  * obs_export — byte-exact goldens for the JSON / Prometheus /
+#    Chrome-trace exporters (the malgraph-obs/1 schema-stability check).
+echo "== cargo test -q -p obs"
+cargo test -q -p obs
+echo "== cargo test -q --test obs_instrumentation"
+cargo test -q --test obs_instrumentation
+echo "== cargo test -q --test obs_export"
+cargo test -q --test obs_export
+
 echo "CI OK"

@@ -36,10 +36,38 @@ fn bench_graph_build(c: &mut Criterion) {
     group.finish();
 }
 
+/// Overhead of the `obs` instrumentation on collect→build: the no-op
+/// path (disabled, one branch per site) against the enabled registry.
+/// The ISSUE-4 budget is <2% — `obs_overhead` measures it one-shot,
+/// this group tracks it over time.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let world = World::generate(WorldConfig::small(4));
+    let mut group = c.benchmark_group("pipeline_obs");
+    group.sample_size(10);
+    group.bench_function("disabled", |b| {
+        obs::disable();
+        b.iter(|| {
+            let dataset = collect(&world);
+            build(&dataset, &BuildOptions::default())
+        });
+    });
+    group.bench_function("enabled", |b| {
+        obs::enable();
+        b.iter(|| {
+            obs::reset();
+            let dataset = collect(&world);
+            build(&dataset, &BuildOptions::default())
+        });
+        obs::disable();
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_world_generation,
     bench_collection,
-    bench_graph_build
+    bench_graph_build,
+    bench_obs_overhead
 );
 criterion_main!(benches);

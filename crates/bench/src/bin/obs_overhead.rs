@@ -1,0 +1,93 @@
+//! One-shot overhead measurement of the `obs` instrumentation on the
+//! collect→build pipeline, written to `BENCH_PR4.json` (ISSUE 4).
+//!
+//! The observability contract is that disabled instrumentation costs one
+//! predictable branch per site and enabled instrumentation stays under
+//! 2% of pipeline wall time. This bin measures both modes on the same
+//! world and reports the relative overhead.
+//!
+//! ```text
+//! cargo run -p malgraph-bench --bin obs_overhead --release
+//! ```
+//!
+//! `Instant` is used *on purpose* here: this tool benchmarks `obs`
+//! itself, so it cannot measure with the instrument under test.
+
+use crawler::collect;
+use malgraph_core::{build, BuildOptions};
+use registry_sim::{World, WorldConfig};
+use std::time::Instant;
+
+const SEED: u64 = 42;
+const SCALE: f64 = 0.2;
+const REPS: usize = 3;
+
+/// Best-of-`reps` wall time (guards against scheduler noise).
+fn millis<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let started = Instant::now();
+        out = Some(f());
+        best = best.min(started.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+fn pipeline(world: &World) -> usize {
+    let dataset = collect(world);
+    let graph = build(&dataset, &BuildOptions::default());
+    graph.graph.node_count() + graph.graph.edge_count()
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let config = WorldConfig {
+        seed: SEED,
+        ..WorldConfig::default()
+    }
+    .with_scale(SCALE);
+    eprintln!("generating world (seed {SEED}, scale {SCALE})…");
+    let world = World::generate(config);
+
+    obs::disable();
+    pipeline(&world); // untimed warm-up (allocator + page-cache warm)
+    let (disabled_ms, size_disabled) = millis(REPS, || pipeline(&world));
+    eprintln!("disabled: {disabled_ms:.0} ms");
+
+    obs::enable();
+    let (enabled_ms, size_enabled) = millis(REPS, || {
+        obs::reset();
+        pipeline(&world)
+    });
+    obs::disable();
+    eprintln!("enabled:  {enabled_ms:.0} ms");
+
+    assert_eq!(
+        size_disabled, size_enabled,
+        "instrumentation must not change the graph"
+    );
+
+    let overhead_pct = 100.0 * (enabled_ms - disabled_ms) / disabled_ms;
+    eprintln!("overhead: {overhead_pct:+.2}% (target < 2%)");
+
+    let report = jsonio::object! {
+        "bench": "obs_overhead",
+        "issue": "PR4: unified obs crate (tracing + metrics + exporters)",
+        "seed": SEED,
+        "scale": SCALE,
+        "reps": REPS,
+        "host_threads": threads,
+        "pipeline": "collect -> build",
+        "disabled_ms": disabled_ms,
+        "enabled_ms": enabled_ms,
+        "overhead_pct": overhead_pct,
+        "target": "overhead_pct < 2.0",
+        "note": "best-of-reps wall times on the same world; \
+                 graph size asserted identical in both modes",
+    };
+    std::fs::write("BENCH_PR4.json", report.to_pretty() + "\n").expect("write BENCH_PR4.json");
+    eprintln!("wrote BENCH_PR4.json");
+}

@@ -23,7 +23,8 @@ pub struct Repro {
 }
 
 /// Wall times of the pipeline stages, printed by `repro` so performance
-/// regressions are visible next to the measurements.
+/// regressions are visible next to the measurements. Measured with `obs`
+/// spans — the harness owns no timing mechanism of its own.
 #[derive(Debug, Clone, Copy)]
 pub struct StageTimings {
     /// World generation (the simulated ground truth).
@@ -51,20 +52,25 @@ impl Repro {
             ..WorldConfig::default()
         }
         .with_scale(scale);
-        let started = std::time::Instant::now();
+        obs::enable();
+        let span = obs::span!("repro/world");
         let world = World::generate(config);
-        let world_elapsed = started.elapsed();
-        let started = std::time::Instant::now();
+        let world_elapsed = span.finish();
+        let span = obs::span!("repro/collect");
         let dataset = collect(&world);
-        let collect_elapsed = started.elapsed();
-        let started = std::time::Instant::now();
+        let collect_elapsed = span.finish();
+        // The similarity stage is a sub-span of build; the delta of its
+        // aggregate isolates this build() call even under repeated runs.
+        let similar_before = obs::span_total_micros("build/similar");
+        let span = obs::span!("repro/build");
         let graph = build(&dataset, &BuildOptions::default());
-        let build_elapsed = started.elapsed();
+        let build_elapsed = span.finish();
+        let similar_us = obs::span_total_micros("build/similar") - similar_before;
         let timings = StageTimings {
             world: world_elapsed,
             collect: collect_elapsed,
             build: build_elapsed,
-            similarity: graph.similarity_elapsed,
+            similarity: std::time::Duration::from_micros(similar_us),
         };
         Repro {
             world,
@@ -80,6 +86,7 @@ impl Repro {
     ///
     /// Panics if `id` is not one of [`EXPERIMENTS`].
     pub fn run(&self, id: &str) -> String {
+        let _span = obs::span!("analyze/{id}");
         match id {
             "table1" => self.table1(),
             "fig2" => self.fig2(),

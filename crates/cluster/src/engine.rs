@@ -48,6 +48,8 @@ struct ChunkPass {
     counts: Vec<usize>,
     /// Chunk inertia: `dist` summed in point order.
     inertia: f32,
+    /// Centroid scans skipped by the triangle-inequality bound.
+    pruned: u64,
 }
 
 fn dot(a: &[f32], b: &[f32]) -> f32 {
@@ -143,6 +145,7 @@ fn assign_chunk(
     let mut sums = if with_sums { vec![0.0f32; k * dim] } else { Vec::new() };
     let mut counts = if with_sums { vec![0usize; k] } else { Vec::new() };
     let mut inertia = 0.0f32;
+    let mut pruned = 0u64;
     for i in lo..hi {
         let point = points[i];
         let mut best = 0usize;
@@ -153,6 +156,7 @@ fn assign_chunk(
             // coordinates.
             let gap = proot[i] - croot[c];
             if gap * gap >= best_d {
+                pruned += 1;
                 continue;
             }
             let d = pnorm[i] - 2.0 * dot(point, &centroids[c]) + cnorm[c];
@@ -180,6 +184,7 @@ fn assign_chunk(
         sums,
         counts,
         inertia,
+        pruned,
     }
 }
 
@@ -203,6 +208,8 @@ pub(crate) fn lloyd(
 
     let mut assignments = vec![0usize; n];
     let mut iterations = 0;
+    let mut pruned_total = 0u64;
+    let mut reseeded_total = 0u64;
     for iter in 0..config.max_iters {
         iterations = iter + 1;
         let cnorm: Vec<f32> = centroids.iter().map(|c| dot(c, c)).collect();
@@ -227,6 +234,7 @@ pub(crate) fn lloyd(
             for (count, v) in counts.iter_mut().zip(&pass.counts) {
                 *count += v;
             }
+            pruned_total += pass.pruned;
         }
         // Update step, serial over k.
         let mut movement = 0.0f32;
@@ -254,6 +262,7 @@ pub(crate) fn lloyd(
             movement += distance_sq(&fresh, &centroids[c]);
             centroids[c] = fresh;
         }
+        reseeded_total += reseeded as u64;
         if movement <= config.tolerance {
             break;
         }
@@ -274,7 +283,13 @@ pub(crate) fn lloyd(
         let lo = chunk * chunk_size;
         assignments[lo..lo + pass.assign.len()].copy_from_slice(&pass.assign);
         inertia += pass.inertia;
+        pruned_total += pass.pruned;
     }
+
+    obs::counter_add("kmeans.runs", 1);
+    obs::counter_add("kmeans.iterations", iterations as u64);
+    obs::counter_add("kmeans.pruned_distances", pruned_total);
+    obs::counter_add("kmeans.reseeds", reseeded_total);
 
     KMeansResult {
         centroids,

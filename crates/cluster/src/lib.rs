@@ -184,6 +184,8 @@ pub fn kmeans_warm<P: AsRef<[f32]>>(
     );
     let k = (prev_centroids.len() + extra_k).min(points.len());
     let mut centroids: Vec<Vec<f32>> = prev_centroids.iter().take(k).cloned().collect();
+    obs::counter_add("kmeans.warm_starts", 1);
+    obs::counter_add("kmeans.warm_kept_centroids", centroids.len() as u64);
     if centroids.len() < k {
         centroids = seed_plus_plus(&points, centroids, k, rng);
     }

@@ -174,6 +174,7 @@ pub fn collect(world: &World) -> CollectedDataset {
 /// order, so the corpus for a given `(seed, fault config)` is
 /// bitwise-identical at any thread count.
 pub fn collect_with(world: &World, options: &CollectOptions) -> CollectedDataset {
+    let _collect_span = obs::span!("collect");
     let plan = match options.fault_seed {
         Some(seed) => FaultPlan::new(seed),
         None => FaultPlan::for_world(&world.config),
@@ -182,14 +183,18 @@ pub fn collect_with(world: &World, options: &CollectOptions) -> CollectedDataset
     let mut health = CollectionHealth::new();
 
     // 1. Feeds, fanned out per source.
+    let stage = obs::span!("collect/feeds");
     let per_source = crawl_feeds(world, &transport, options.threads);
     let mut raw: Vec<RawMention> = Vec::new();
     for (source, (mentions, source_health)) in SourceId::ALL.iter().zip(per_source) {
         raw.extend(mentions);
         *health.source_mut(*source) = source_health;
     }
+    obs::counter_add("crawler.raw_mentions", raw.len() as u64);
+    drop(stage);
 
     // 2. Merge by identity.
+    let stage = obs::span!("collect/merge");
     let mut order: Vec<PackageId> = Vec::new();
     let mut merged: HashMap<PackageId, CollectedPackage> = HashMap::new();
     for mention in raw {
@@ -211,9 +216,13 @@ pub fn collect_with(world: &World, options: &CollectOptions) -> CollectedDataset
         }
     }
 
+    obs::counter_add("crawler.distinct_packages", order.len() as u64);
+    drop(stage);
+
     // 3. Mirror recovery for the rest, plus public registry metadata.
     // Each lookup is one fetch keyed by a stable hash of the package
     // identity, so its fate is independent of iteration order.
+    let stage = obs::span!("collect/mirror");
     let search = MirrorSearch::new(world);
     for id in &order {
         let pkg = merged.get_mut(id).expect("merged entry exists");
@@ -240,7 +249,10 @@ pub fn collect_with(world: &World, options: &CollectOptions) -> CollectedDataset
         }
     }
 
+    drop(stage);
+
     // 4. Report corpus; a dropped page loses that report, nothing else.
+    let stage = obs::span!("collect/reports");
     let mut reports = Vec::new();
     for report in &world.reports {
         let fetch = transport.fetch_report_page(u64::from(report.id));
@@ -263,6 +275,20 @@ pub fn collect_with(world: &World, options: &CollectOptions) -> CollectedDataset
                 actor: parsed.actor,
             });
         }
+    }
+
+    obs::counter_add("crawler.reports", reports.len() as u64);
+    drop(stage);
+
+    health.absorb_into_obs();
+    let total = health.total();
+    if total.dropped > 0 {
+        obs::warn!(
+            "collection dropped {} documents ({} retries, {} recovered)",
+            total.dropped,
+            total.retries,
+            total.recovered
+        );
     }
 
     let packages = order

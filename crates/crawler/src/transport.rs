@@ -106,6 +106,14 @@ impl Transport {
 
     /// Runs the full attempt/retry loop for one document on `channel`.
     pub fn fetch(&self, channel: u64, document: u64) -> FetchOutcome {
+        let outcome = self.fetch_inner(channel, document);
+        if obs::enabled() && outcome.backoff_ms > 0 {
+            obs::histogram_record("transport.backoff_ms", outcome.backoff_ms);
+        }
+        outcome
+    }
+
+    fn fetch_inner(&self, channel: u64, document: u64) -> FetchOutcome {
         let mut outcome = FetchOutcome {
             delivered: false,
             attempts: 0,
@@ -273,6 +281,36 @@ impl CollectionHealth {
     /// Whether the whole run saw no faults (a legacy-equivalent corpus).
     pub fn is_fault_free(&self) -> bool {
         self.total().is_clean()
+    }
+
+    /// Folds the run's telemetry into the obs metrics registry, one
+    /// counter family per quantity with a `{channel=…}` label per
+    /// channel plus unlabeled grand totals. The JSON `"health"` key on
+    /// exported corpora is unaffected — this is the metrics-registry
+    /// view of the same numbers.
+    pub fn absorb_into_obs(&self) {
+        if !obs::enabled() {
+            return;
+        }
+        let absorb = |label: &str, health: &FetchHealth| {
+            obs::counter_add(&format!("crawler.attempts{{channel={label}}}"), health.attempts);
+            obs::counter_add(&format!("crawler.retries{{channel={label}}}"), health.retries);
+            obs::counter_add(&format!("crawler.recovered{{channel={label}}}"), health.recovered);
+            obs::counter_add(&format!("crawler.delivered{{channel={label}}}"), health.delivered);
+            obs::counter_add(&format!("crawler.dropped{{channel={label}}}"), health.dropped);
+        };
+        for (source, health) in &self.sources {
+            absorb(&format!("feed/{}", source.slug()), health);
+        }
+        absorb("mirror", &self.mirror);
+        absorb("report-corpus", &self.report_corpus);
+        let total = self.total();
+        obs::counter_add("crawler.attempts", total.attempts);
+        obs::counter_add("crawler.retries", total.retries);
+        obs::counter_add("crawler.recovered", total.recovered);
+        obs::counter_add("crawler.delivered", total.delivered);
+        obs::counter_add("crawler.dropped", total.dropped);
+        obs::counter_add("crawler.backoff_ms", total.backoff_ms);
     }
 }
 

@@ -38,8 +38,13 @@ impl StaticDetector {
     pub fn scan(&self, module: &Module, package_name: Option<&PackageName>) -> Verdict {
         let matched = matched_rules(module, package_name);
         let score: f64 = matched.iter().map(|r| r.weight()).sum();
+        let malicious = score >= self.threshold;
+        obs::counter_add("detector.static_scans", 1);
+        if malicious {
+            obs::counter_add("detector.static_malicious", 1);
+        }
         Verdict {
-            malicious: score >= self.threshold,
+            malicious,
             score,
             matched,
         }

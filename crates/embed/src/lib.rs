@@ -78,6 +78,8 @@ impl Embedder {
     /// identically.
     pub fn embed(&self, module: &Module) -> Embedding {
         let features = extract_features(module);
+        obs::counter_add("embed.vectors", 1);
+        obs::counter_add("embed.features", features.len() as u64);
         let mut values = vec![0.0f32; self.dim];
         for feature in &features {
             let h = fnv1a(feature.text.as_bytes());

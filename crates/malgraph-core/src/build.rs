@@ -27,9 +27,6 @@ pub struct MalGraph {
     primary: HashMap<PackageId, NodeId>,
     /// Similarity diagnostics per ecosystem (chosen k, schedule trace).
     pub similarity_diagnostics: Vec<(Ecosystem, SimilarityOutput)>,
-    /// Wall time of the similarity stage (step 4), the hot path of the
-    /// build — surfaced by `repro`'s per-stage timing report.
-    pub similarity_elapsed: std::time::Duration,
 }
 
 impl MalGraph {
@@ -69,10 +66,13 @@ impl MalGraph {
 /// 5. **co-existing** edges: clique over the packages named by the same
 ///    security report.
 pub fn build(dataset: &CollectedDataset, options: &BuildOptions) -> MalGraph {
+    let _build_span = obs::span!("build");
     let mut graph: PropertyGraph<MalNode, Relation> = PropertyGraph::new();
     let mut primary: HashMap<PackageId, NodeId> = HashMap::new();
 
-    // 1+2. Nodes and duplicated cliques.
+    // 1. One node per package/source mention.
+    let stage = obs::span!("build/nodes");
+    let mut nodes_by_pkg: Vec<Vec<NodeId>> = Vec::with_capacity(dataset.packages.len());
     for pkg in &dataset.packages {
         let mut nodes_of_pkg: Vec<NodeId> = Vec::new();
         for (i, &(source, disclosed)) in pkg.mentions.iter().enumerate() {
@@ -89,14 +89,28 @@ pub fn build(dataset: &CollectedDataset, options: &BuildOptions) -> MalGraph {
             }
             nodes_of_pkg.push(node);
         }
+        nodes_by_pkg.push(nodes_of_pkg);
+    }
+    obs::counter_add("build.nodes", graph.node_count() as u64);
+    obs::counter_add("build.packages", primary.len() as u64);
+    drop(stage);
+
+    // 2. Duplicated cliques over the nodes of each package.
+    let stage = obs::span!("build/duplicated");
+    let mut duplicated_edges = 0u64;
+    for nodes_of_pkg in &nodes_by_pkg {
         for a in 0..nodes_of_pkg.len() {
             for b in (a + 1)..nodes_of_pkg.len() {
                 graph.add_undirected_edge(nodes_of_pkg[a], nodes_of_pkg[b], Relation::Duplicated);
+                duplicated_edges += 1;
             }
         }
     }
+    obs::counter_add("build.edges_added{relation=duplicated}", duplicated_edges);
+    drop(stage);
 
     // 3. Dependency edges between malicious packages.
+    let stage = obs::span!("build/dependency");
     let mut by_name: HashMap<(Ecosystem, &str), Vec<&PackageId>> = HashMap::new();
     for pkg in &dataset.packages {
         by_name
@@ -108,6 +122,7 @@ pub fn build(dataset: &CollectedDataset, options: &BuildOptions) -> MalGraph {
     // probing it inside these nested loops is quadratic-times-degree on
     // large reports. A local seen-pair set gives the same dedup in O(1).
     let mut seen_dependency: HashSet<(NodeId, NodeId)> = HashSet::new();
+    let mut dependency_edges = 0u64;
     for pkg in &dataset.packages {
         let Some(archive) = &pkg.archive else {
             continue;
@@ -124,16 +139,19 @@ pub fn build(dataset: &CollectedDataset, options: &BuildOptions) -> MalGraph {
                 let to = primary[*target];
                 if seen_dependency.insert((from, to)) {
                     graph.add_edge(from, to, Relation::Dependency);
+                    dependency_edges += 1;
                 }
             }
         }
     }
+    obs::counter_add("build.edges_added{relation=dependency}", dependency_edges);
+    drop(stage);
 
     // 4. Similar edges per ecosystem. The per-ecosystem pipelines are
     // independent, so they run concurrently; joining and applying edges
     // in `Ecosystem::ALL` order keeps the graph deterministic regardless
     // of which pipeline finishes first.
-    let similarity_started = std::time::Instant::now();
+    let stage = obs::span!("build/similar");
     let jobs: Vec<(Ecosystem, Vec<(PackageId, &str)>)> = Ecosystem::ALL
         .iter()
         .map(|&eco| {
@@ -150,9 +168,12 @@ pub fn build(dataset: &CollectedDataset, options: &BuildOptions) -> MalGraph {
     let outputs: Vec<SimilarityOutput> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = jobs
             .iter()
-            .map(|(_, entries)| {
+            .map(|&(eco, ref entries)| {
                 let similarity = &options.similarity;
-                scope.spawn(move |_| similar_pairs(entries, similarity))
+                scope.spawn(move |_| {
+                    let _span = obs::span!("build/similar/ecosystem={}", eco.display_name());
+                    similar_pairs(entries, similarity)
+                })
             })
             .collect();
         handles
@@ -162,22 +183,27 @@ pub fn build(dataset: &CollectedDataset, options: &BuildOptions) -> MalGraph {
     })
     .expect("crossbeam scope");
     let mut similarity_diagnostics = Vec::new();
+    let mut similar_edges = 0u64;
     for ((eco, entries), out) in jobs.iter().zip(outputs) {
         for &(a, b) in &out.pairs {
             let na = primary[&entries[a].0];
             let nb = primary[&entries[b].0];
             graph.add_undirected_edge(na, nb, Relation::Similar);
+            similar_edges += 1;
         }
         similarity_diagnostics.push((*eco, out));
     }
-    let similarity_elapsed = similarity_started.elapsed();
+    obs::counter_add("build.edges_added{relation=similar}", similar_edges);
+    drop(stage);
 
     // 5. Co-existing cliques per report. Externally produced corpora can
     // name the same package twice in one report; deduping here keeps the
     // clique irreflexive (`add_undirected_edge` asserts a ≠ b) for both
     // `collect` and `import_json` inputs. Cross-report repeats are
     // deduped by the seen-pair set, replacing the `has_edge` linear scan.
+    let stage = obs::span!("build/coexisting");
     let mut seen_coexisting: HashSet<(NodeId, NodeId)> = HashSet::new();
+    let mut coexisting_edges = 0u64;
     for report in &dataset.reports {
         let mut in_report: HashSet<NodeId> = HashSet::new();
         let nodes: Vec<NodeId> = report
@@ -191,16 +217,18 @@ pub fn build(dataset: &CollectedDataset, options: &BuildOptions) -> MalGraph {
                 if seen_coexisting.insert((nodes[a], nodes[b])) {
                     seen_coexisting.insert((nodes[b], nodes[a]));
                     graph.add_undirected_edge(nodes[a], nodes[b], Relation::Coexisting);
+                    coexisting_edges += 1;
                 }
             }
         }
     }
+    obs::counter_add("build.edges_added{relation=coexisting}", coexisting_edges);
+    drop(stage);
 
     MalGraph {
         graph,
         primary,
         similarity_diagnostics,
-        similarity_elapsed,
     }
 }
 

@@ -94,6 +94,8 @@ pub fn similar_pairs(
 ) -> SimilarityOutput {
     // 1. Parse + embed — embarrassingly parallel, fanned out across
     // cores with crossbeam scoped threads.
+    let phase = obs::span!("similarity/embed");
+    obs::counter_add("similarity.entries", entries.len() as u64);
     let embedder = Embedder::new(config.dim);
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -128,6 +130,8 @@ pub fn similar_pairs(
         vectors.push(vector);
         owners.push(owner);
     }
+    obs::counter_add("similarity.parse_failures", (entries.len() - vectors.len()) as u64);
+    drop(phase);
     if vectors.len() < 2 {
         return SimilarityOutput {
             pairs: Vec::new(),
@@ -142,6 +146,7 @@ pub fn similar_pairs(
     // k-means++-seeds only the `next_k - k` new ones, so the schedule
     // pays incremental refinement instead of a full re-convergence at
     // every k.
+    let phase = obs::span!("similarity/schedule");
     let mut rng = StdRng::seed_from_u64(config.seed);
     let kconfig = KMeansConfig::default();
     let mut k = 3usize.min(data.len());
@@ -163,6 +168,8 @@ pub fn similar_pairs(
         best = next;
         k = next_k;
     }
+    obs::counter_add("similarity.schedule_steps", trace.len() as u64);
+    drop(phase);
 
     // 3. Cosine-refined pairs within each cluster. The big clusters
     // (floods) dominate this O(|c|²) step. Workers are bounded by
@@ -173,6 +180,7 @@ pub fn similar_pairs(
     // Determinism: each worker tags its output with the cluster index and
     // the merge flattens in cluster-index order, so the pair list does
     // not depend on the worker count or scheduling.
+    let phase = obs::span!("similarity/refine");
     let clusters = best.clusters();
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -230,6 +238,8 @@ pub fn similar_pairs(
         by_cluster[c] = local;
     }
     let pairs: Vec<(usize, usize)> = by_cluster.into_iter().flatten().collect();
+    obs::counter_add("similarity.pairs", pairs.len() as u64);
+    drop(phase);
     SimilarityOutput {
         pairs,
         chosen_k: best.k(),

@@ -52,7 +52,15 @@ pub struct World {
 impl World {
     /// Generates a world from `config`. Deterministic in `config.seed`.
     pub fn generate(config: WorldConfig) -> World {
-        Builder::new(config).build()
+        let _span = obs::span!("world/generate");
+        let world = Builder::new(config).build();
+        obs::counter_add("world.generated", 1);
+        obs::gauge_set("world.packages", world.packages.len() as f64);
+        obs::gauge_set("world.campaigns", world.campaigns.len() as f64);
+        obs::gauge_set("world.mentions", world.mentions.len() as f64);
+        obs::gauge_set("world.reports", world.reports.len() as f64);
+        obs::gauge_set("world.mirrors", world.mirrors.len() as f64);
+        world
     }
 
     /// The package record behind an index.

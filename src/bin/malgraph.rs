@@ -7,7 +7,13 @@
 //!                  [--fault-seed N] [--threads N]
 //! malgraph analyze --corpus P                        # JSON → MALGRAPH → summary
 //! malgraph scan <file.pyl> [name]                    # detectors on one file
+//! malgraph stats [snapshot.json]                     # pretty-print a metrics snapshot
 //! ```
+//!
+//! `collect`, `analyze` and `scan` additionally accept the observability
+//! flags `--metrics-out <file>` (JSON snapshot, schema `malgraph-obs/1`),
+//! `--trace-out <file>` (Chrome trace-event JSON for `chrome://tracing` /
+//! Perfetto) and `--log-level <off|error|warn|info|debug|trace>`.
 //!
 //! `collect` + `analyze` round-trip through the export format, the flow a
 //! downstream lab would use with a published corpus. With `--fault-rate`
@@ -23,27 +29,81 @@ use malgraph::detector::{DynamicDetector, StaticDetector};
 use malgraph::malgraph_core::analysis::{actors, diversity, evolution, overlap, quality};
 use malgraph::malgraph_core::{build, BuildOptions};
 use malgraph::prelude::*;
+use malgraph::{jsonio, obs};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
+    let code = match args.first().map(String::as_str) {
         Some("world") => cmd_world(&args[1..]),
         Some("collect") => cmd_collect(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("scan") => cmd_scan(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         _ => {
             eprintln!(
-                "usage: malgraph <world|collect|analyze|scan> …\n\
+                "usage: malgraph <world|collect|analyze|scan|stats> …\n\
                  \n\
                  world   [--seed N] [--scale F]\n\
                  collect [--seed N] [--scale F] --out corpus.json [--manifest-only]\n\
                  \x20        [--fault-rate F] [--retries N] [--fault-seed N] [--threads N]\n\
                  analyze --corpus corpus.json\n\
-                 scan <file.pyl> [package-name]"
+                 scan <file.pyl> [package-name]\n\
+                 stats   [snapshot.json]\n\
+                 \n\
+                 collect/analyze/scan also accept:\n\
+                 \x20  --metrics-out FILE   write a metrics snapshot (malgraph-obs/1 JSON)\n\
+                 \x20  --trace-out FILE     write a Chrome trace (chrome://tracing, Perfetto)\n\
+                 \x20  --log-level LEVEL    off|error|warn|info|debug|trace (default warn)"
             );
-            std::process::exit(2);
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+/// The subcommand being parsed; flag validation is per-subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cmd {
+    World,
+    Collect,
+    Analyze,
+    Scan,
+    Stats,
+}
+
+impl Cmd {
+    fn name(self) -> &'static str {
+        match self {
+            Cmd::World => "world",
+            Cmd::Collect => "collect",
+            Cmd::Analyze => "analyze",
+            Cmd::Scan => "scan",
+            Cmd::Stats => "stats",
         }
     }
+
+    /// How many positional arguments the subcommand accepts.
+    fn max_positional(self) -> usize {
+        match self {
+            Cmd::World | Cmd::Collect | Cmd::Analyze => 0,
+            Cmd::Scan => 2,
+            Cmd::Stats => 1,
+        }
+    }
+}
+
+/// The subcommands each flag is valid on; `None` means the flag is
+/// unknown everywhere.
+fn flag_cmds(flag: &str) -> Option<&'static [Cmd]> {
+    use Cmd::*;
+    Some(match flag {
+        "--seed" | "--scale" => &[World, Collect],
+        "--out" | "--manifest-only" | "--fault-rate" | "--retries" | "--fault-seed"
+        | "--threads" => &[Collect],
+        "--corpus" => &[Analyze],
+        "--metrics-out" | "--trace-out" | "--log-level" => &[Collect, Analyze, Scan],
+        _ => return None,
+    })
 }
 
 struct CommonOpts {
@@ -56,10 +116,13 @@ struct CommonOpts {
     retries: Option<u32>,
     fault_seed: Option<u64>,
     threads: Option<usize>,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
+    log_level: Option<obs::Level>,
     positional: Vec<String>,
 }
 
-fn parse_opts(args: &[String]) -> CommonOpts {
+fn parse_opts(cmd: Cmd, args: &[String]) -> CommonOpts {
     let mut opts = CommonOpts {
         seed: 42,
         scale: 0.05,
@@ -70,10 +133,24 @@ fn parse_opts(args: &[String]) -> CommonOpts {
         retries: None,
         fault_seed: None,
         threads: None,
+        metrics_out: None,
+        trace_out: None,
+        log_level: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        if arg.starts_with('-') {
+            match flag_cmds(arg) {
+                None => die(&format!(
+                    "unknown flag {arg} (run `malgraph` with no arguments for usage)"
+                )),
+                Some(cmds) if !cmds.contains(&cmd) => {
+                    die(&format!("{arg} is not supported by `{}`", cmd.name()))
+                }
+                Some(_) => {}
+            }
+        }
         match arg.as_str() {
             "--seed" => opts.seed = next_parsed(&mut it, "--seed"),
             "--scale" => {
@@ -95,11 +172,30 @@ fn parse_opts(args: &[String]) -> CommonOpts {
             }
             "--retries" => opts.retries = Some(next_parsed(&mut it, "--retries")),
             "--fault-seed" => opts.fault_seed = Some(next_parsed(&mut it, "--fault-seed")),
-            "--threads" => opts.threads = Some(next_parsed(&mut it, "--threads")),
-            other if other.starts_with('-') => {
-                die(&format!("unknown flag {other} (run `malgraph` with no arguments for usage)"))
+            "--threads" => {
+                let threads: usize = next_parsed(&mut it, "--threads");
+                if threads == 0 {
+                    die("--threads must be at least 1 (omit the flag to use all cores)");
+                }
+                opts.threads = Some(threads);
             }
-            other => opts.positional.push(other.to_string()),
+            "--metrics-out" => opts.metrics_out = Some(next_str(&mut it, "--metrics-out")),
+            "--trace-out" => opts.trace_out = Some(next_str(&mut it, "--trace-out")),
+            "--log-level" => {
+                let raw = next_str(&mut it, "--log-level");
+                opts.log_level =
+                    Some(raw.parse().unwrap_or_else(|e: String| die(&format!("--log-level: {e}"))));
+            }
+            other => {
+                if opts.positional.len() >= cmd.max_positional() {
+                    die(&format!(
+                        "unexpected argument {other:?} (`{}` takes at most {} positional arguments)",
+                        cmd.name(),
+                        cmd.max_positional()
+                    ));
+                }
+                opts.positional.push(other.to_string());
+            }
         }
     }
     opts
@@ -120,6 +216,37 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Applies the observability flags: the metrics registry is enabled only
+/// when an output file will consume it (the no-op path stays one branch
+/// per site otherwise); the log level applies either way.
+fn obs_setup(opts: &CommonOpts) {
+    if let Some(level) = opts.log_level {
+        obs::set_log_level(level);
+    }
+    if opts.metrics_out.is_some() || opts.trace_out.is_some() {
+        obs::enable();
+    }
+}
+
+/// Writes the requested snapshot files. Called before the command's exit
+/// code is returned so `scan`'s non-zero exit still produces the files.
+fn obs_finish(opts: &CommonOpts) {
+    if opts.metrics_out.is_none() && opts.trace_out.is_none() {
+        return;
+    }
+    let snapshot = obs::snapshot();
+    if let Some(path) = &opts.metrics_out {
+        std::fs::write(path, snapshot.to_json())
+            .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        eprintln!("wrote metrics snapshot {path} (inspect with `malgraph stats {path}`)");
+    }
+    if let Some(path) = &opts.trace_out {
+        std::fs::write(path, snapshot.to_chrome_trace())
+            .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        eprintln!("wrote Chrome trace {path} (load in chrome://tracing or Perfetto)");
+    }
+}
+
 fn generate(opts: &CommonOpts) -> World {
     World::generate(
         WorldConfig {
@@ -130,8 +257,8 @@ fn generate(opts: &CommonOpts) -> World {
     )
 }
 
-fn cmd_world(args: &[String]) {
-    let opts = parse_opts(args);
+fn cmd_world(args: &[String]) -> i32 {
+    let opts = parse_opts(Cmd::World, args);
     let world = generate(&opts);
     println!("seed {} scale {}", opts.seed, opts.scale);
     println!("packages : {}", world.packages.len());
@@ -148,13 +275,15 @@ fn cmd_world(args: &[String]) {
     println!("mentions : {}", world.mentions.len());
     println!("reports  : {} across {} websites", world.reports.len(), world.websites.len());
     println!("mirrors  : {}", world.mirrors.len());
+    0
 }
 
-fn cmd_collect(args: &[String]) {
-    let opts = parse_opts(args);
+fn cmd_collect(args: &[String]) -> i32 {
+    let opts = parse_opts(Cmd::Collect, args);
     let Some(out) = &opts.out else {
         die("collect requires --out <path>");
     };
+    obs_setup(&opts);
     let world = generate(&opts);
     let resilient = opts.fault_rate.is_some()
         || opts.retries.is_some()
@@ -192,6 +321,8 @@ fn cmd_collect(args: &[String]) {
     if let Some(health) = &corpus.health {
         print_health(health);
     }
+    obs_finish(&opts);
+    0
 }
 
 fn print_health(health: &CollectionHealth) {
@@ -220,11 +351,12 @@ fn print_health(health: &CollectionHealth) {
     row("total", &health.total());
 }
 
-fn cmd_analyze(args: &[String]) {
-    let opts = parse_opts(args);
+fn cmd_analyze(args: &[String]) -> i32 {
+    let opts = parse_opts(Cmd::Analyze, args);
     let Some(path) = &opts.corpus else {
         die("analyze requires --corpus <path>");
     };
+    obs_setup(&opts);
     let json = std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
     let corpus = import_json(&json).unwrap_or_else(|e| die(&e.to_string()));
     println!(
@@ -235,6 +367,7 @@ fn cmd_analyze(args: &[String]) {
     );
     let graph = build(&corpus, &BuildOptions::default());
 
+    let analyze_span = obs::span!("analyze");
     println!("\n-- relation graphs (Table II shape)");
     for row in diversity::table2(&graph) {
         println!(
@@ -286,13 +419,17 @@ fn cmd_analyze(args: &[String]) {
         "-- actor attribution: {}/{} CGs attributed, {} conflicting",
         attribution.attributed, attribution.groups, attribution.conflicting
     );
+    drop(analyze_span);
+    obs_finish(&opts);
+    0
 }
 
-fn cmd_scan(args: &[String]) {
-    let opts = parse_opts(args);
+fn cmd_scan(args: &[String]) -> i32 {
+    let opts = parse_opts(Cmd::Scan, args);
     let Some(path) = opts.positional.first() else {
         die("scan requires a file path");
     };
+    obs_setup(&opts);
     let source =
         std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
     let name = opts
@@ -300,6 +437,7 @@ fn cmd_scan(args: &[String]) {
         .get(1)
         .map(|n| n.parse().unwrap_or_else(|_| die("bad package name")));
 
+    let scan_span = obs::span!("scan");
     let sv = StaticDetector::default().scan_source(&source, name.as_ref());
     println!(
         "static : malicious={} score={:.1} rules={:?}",
@@ -313,7 +451,102 @@ fn cmd_scan(args: &[String]) {
         dv.labels.iter().map(|l| l.to_string()).collect::<Vec<_>>()
     );
     println!("         apis={:?}", dv.apis);
+    drop(scan_span);
+    obs_finish(&opts);
     if sv.malicious || dv.malicious() {
-        std::process::exit(1);
+        1
+    } else {
+        0
     }
+}
+
+/// Renders microseconds human-readably for the stats table.
+fn fmt_micros(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+fn cmd_stats(args: &[String]) -> i32 {
+    let opts = parse_opts(Cmd::Stats, args);
+    let path = opts
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("malgraph-metrics.json");
+    let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        die(&format!(
+            "read {path}: {e} (produce one with `malgraph collect --out corpus.json \
+             --metrics-out {path}`)"
+        ))
+    });
+    let value = jsonio::Value::parse(&json).unwrap_or_else(|e| die(&format!("{path}: {e}")));
+    let schema = value.get("schema").and_then(|v| v.as_str()).unwrap_or("");
+    if schema != "malgraph-obs/1" {
+        die(&format!(
+            "{path}: unsupported snapshot schema {schema:?} (expected \"malgraph-obs/1\")"
+        ));
+    }
+    println!("metrics snapshot {path} (schema {schema})");
+
+    let section = |key: &str| -> Vec<(String, jsonio::Value)> {
+        value
+            .get(key)
+            .and_then(|v| v.as_object())
+            .map(|entries| entries.to_vec())
+            .unwrap_or_default()
+    };
+
+    let spans = section("spans");
+    if !spans.is_empty() {
+        println!("\n-- stages (span rollups)");
+        println!("{:<44} {:>7} {:>12}", "span", "count", "total");
+        for (name, entry) in &spans {
+            let count = entry.get("count").and_then(|v| v.as_u64()).unwrap_or(0);
+            let total = entry.get("total_us").and_then(|v| v.as_u64()).unwrap_or(0);
+            println!("{name:<44} {count:>7} {:>12}", fmt_micros(total));
+        }
+    }
+
+    let counters = section("counters");
+    if !counters.is_empty() {
+        println!("\n-- counters");
+        for (name, entry) in &counters {
+            println!("{name:<44} {:>12}", entry.as_u64().unwrap_or(0));
+        }
+    }
+
+    let gauges = section("gauges");
+    if !gauges.is_empty() {
+        println!("\n-- gauges");
+        for (name, entry) in &gauges {
+            println!("{name:<44} {:>12}", entry.as_f64().unwrap_or(0.0));
+        }
+    }
+
+    let histograms = section("histograms");
+    if !histograms.is_empty() {
+        println!("\n-- histograms");
+        println!("{:<44} {:>7} {:>10} {:>8} {:>8}", "histogram", "count", "sum", "min", "max");
+        for (name, entry) in &histograms {
+            let field = |k: &str| entry.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+            println!(
+                "{name:<44} {:>7} {:>10} {:>8} {:>8}",
+                field("count"),
+                field("sum"),
+                field("min"),
+                field("max")
+            );
+        }
+    }
+
+    let dropped = value.get("events_dropped").and_then(|v| v.as_u64()).unwrap_or(0);
+    if dropped > 0 {
+        println!("\n(events dropped past the retention cap: {dropped})");
+    }
+    0
 }

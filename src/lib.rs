@@ -8,8 +8,10 @@
 //!   mirror recovery → corpus);
 //! * [`malgraph_core`] — the knowledge graph (four relations, subgraph
 //!   groups) and the RQ1–RQ4 analyses;
+//! * [`obs`] — structured tracing, metrics, and exporters instrumented
+//!   through every layer above;
 //! * substrates: [`oss_types`], [`minilang`], [`embed`], [`cluster`],
-//!   [`graphstore`].
+//!   [`graphstore`], [`jsonio`].
 //!
 //! # Quickstart
 //!
@@ -32,8 +34,10 @@ pub use crawler;
 pub use detector;
 pub use embed;
 pub use graphstore;
+pub use jsonio;
 pub use malgraph_core;
 pub use minilang;
+pub use obs;
 pub use oss_types;
 pub use registry_sim;
 

@@ -117,6 +117,111 @@ fn unknown_flags_are_rejected() {
 }
 
 #[test]
+fn threads_zero_is_rejected_with_usage_error() {
+    let out = bin()
+        .args(["collect", "--threads", "0", "--out", "x.json"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--threads must be at least 1"), "{err}");
+}
+
+#[test]
+fn flags_are_validated_per_subcommand() {
+    for (args, flag) in [
+        (vec!["analyze", "--fault-rate", "0.5", "--corpus", "x.json"], "--fault-rate"),
+        (vec!["analyze", "--threads", "2", "--corpus", "x.json"], "--threads"),
+        (vec!["scan", "--out", "x.json", "file.pyl"], "--out"),
+        (vec!["world", "--metrics-out", "m.json"], "--metrics-out"),
+        (vec!["stats", "--seed", "5"], "--seed"),
+    ] {
+        let out = bin().args(&args).output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?} must be rejected");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains(&format!("{flag} is not supported by `{}`", args[0])),
+            "{args:?}: {err}"
+        );
+    }
+    // Stray positionals on positional-free subcommands are errors too.
+    let out = bin()
+        .args(["analyze", "--corpus", "x.json", "oops"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unexpected argument"));
+}
+
+#[test]
+fn collect_writes_metrics_and_trace_files_and_stats_reads_them_back() {
+    let dir = std::env::temp_dir().join(format!("malgraph-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus = dir.join("corpus.json");
+    let metrics = dir.join("metrics.json");
+    let trace = dir.join("trace.json");
+
+    let out = bin()
+        .args([
+            "collect",
+            "--seed",
+            "5",
+            "--scale",
+            "0.02",
+            "--out",
+            corpus.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let metrics_json = std::fs::read_to_string(&metrics).expect("metrics file written");
+    assert!(metrics_json.contains("\"schema\": \"malgraph-obs/1\""), "{metrics_json}");
+    assert!(metrics_json.contains("crawler.attempts"), "{metrics_json}");
+    assert!(metrics_json.contains("collect/feeds"), "{metrics_json}");
+    let trace_json = std::fs::read_to_string(&trace).expect("trace file written");
+    assert!(trace_json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    assert!(trace_json.contains("\"ph\":\"X\""), "{trace_json}");
+
+    let out = bin()
+        .args(["stats", metrics.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("stages (span rollups)"), "{text}");
+    assert!(text.contains("collect/feeds"), "{text}");
+    assert!(text.contains("counters"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_rejects_missing_and_foreign_files() {
+    let out = bin()
+        .args(["stats", "/nonexistent/metrics.json"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+
+    let dir = std::env::temp_dir().join(format!("malgraph-stats-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let foreign = dir.join("foreign.json");
+    std::fs::write(&foreign, "{\"schema\": \"something-else/9\"}").unwrap();
+    let out = bin()
+        .args(["stats", foreign.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unsupported snapshot schema"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn faulty_collect_prints_the_health_table_and_round_trips() {
     let dir = std::env::temp_dir().join(format!("malgraph-fault-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
