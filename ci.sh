@@ -40,4 +40,25 @@ cargo test -q --test obs_instrumentation
 echo "== cargo test -q --test obs_export"
 cargo test -q --test obs_export
 
+# The vector-kernel gates (PR 6), run explicitly for the same reason:
+#  * embed / cluster property suites — sparse embeddings and every
+#    kernel × thread-count combination bitwise-equal to the dense
+#    reference, i8 windows certified lossless;
+#  * kernel_equivalence — the full similarity pipeline produces
+#    identical output under every Kernel at 1 and 7 threads;
+#  * benches must at least compile (they are not run in CI);
+#  * kernel_bench --quick — the three kernels agree on a real workload
+#    (the binary asserts identical assignments and pair sets before it
+#    reports a number).
+echo "== cargo test -q -p embed --test properties"
+cargo test -q -p embed --test properties
+echo "== cargo test -q -p cluster --test properties"
+cargo test -q -p cluster --test properties
+echo "== cargo test -q --test kernel_equivalence"
+cargo test -q --test kernel_equivalence
+echo "== cargo bench --no-run -p malgraph-bench"
+cargo bench --no-run -p malgraph-bench
+echo "== kernel_bench --quick"
+cargo run --release -q -p malgraph-bench --bin kernel_bench -- --quick
+
 echo "CI OK"

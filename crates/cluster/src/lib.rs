@@ -49,10 +49,34 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod matrix;
 pub mod metrics;
 pub mod serial;
 
+pub use matrix::{PointMatrix, Points, QuantMatrix, SparsePoints};
+
 use rand::Rng;
+
+/// Which assignment kernel the Lloyd engine runs.
+///
+/// All three produce **bitwise identical** results — they share one
+/// summation order and one candidate-scan order, and the quantized
+/// screen only skips candidates provably unable to win (see
+/// `engine.rs`). The enum exists so benchmarks and the equivalence
+/// suite can pit them against each other; production callers keep the
+/// default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// The seed engine's straight loop over dense rows — baseline and
+    /// bitwise reference.
+    DenseScalar,
+    /// Cache-tiled point×centroid loop over sparse exact dots.
+    Tiled,
+    /// [`Kernel::Tiled`] plus the certified i8 screen in front of every
+    /// exact distance.
+    #[default]
+    TiledQuantized,
+}
 
 /// Tuning knobs for Lloyd's algorithm.
 #[derive(Debug, Clone)]
@@ -70,6 +94,9 @@ pub struct KMeansConfig {
     /// rounding); changing [`KMeansConfig::threads`] never does, because
     /// chunk boundaries are independent of the thread count.
     pub chunk: usize,
+    /// Assignment kernel. Every variant is bitwise-equivalent; see
+    /// [`Kernel`].
+    pub kernel: Kernel,
 }
 
 impl Default for KMeansConfig {
@@ -79,6 +106,7 @@ impl Default for KMeansConfig {
             tolerance: 1e-6,
             threads: 0,
             chunk: engine::DEFAULT_CHUNK,
+            kernel: Kernel::default(),
         }
     }
 }
@@ -121,17 +149,6 @@ impl KMeansResult {
     }
 }
 
-fn collect_points<P: AsRef<[f32]>>(data: &[P]) -> (Vec<&[f32]>, usize) {
-    assert!(!data.is_empty(), "cannot cluster an empty dataset");
-    let points: Vec<&[f32]> = data.iter().map(|p| p.as_ref()).collect();
-    let dim = points[0].len();
-    assert!(
-        points.iter().all(|p| p.len() == dim),
-        "inconsistent point dimensions"
-    );
-    (points, dim)
-}
-
 /// Runs K-Means with k-means++ initialization on the parallel engine.
 ///
 /// If `k >= data.len()`, every point becomes its own cluster.
@@ -146,11 +163,26 @@ pub fn kmeans<P: AsRef<[f32]>>(
     config: &KMeansConfig,
     rng: &mut impl Rng,
 ) -> KMeansResult {
+    kmeans_points(&Points::from_dense_rows(data), k, config, rng)
+}
+
+/// [`kmeans`] over a pre-built [`Points`] structure — the layout is
+/// built once and shared across the grow-k schedule instead of being
+/// re-derived per run.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn kmeans_points(
+    points: &Points,
+    k: usize,
+    config: &KMeansConfig,
+    rng: &mut impl Rng,
+) -> KMeansResult {
     assert!(k > 0, "k must be positive");
-    let (points, dim) = collect_points(data);
-    let k = k.min(points.len());
-    let centroids = seed_plus_plus(&points, Vec::new(), k, rng);
-    engine::lloyd(&points, dim, centroids, config)
+    let k = k.min(points.n());
+    let centroids = seed_plus_plus(points.matrix(), Vec::new(), k, rng);
+    engine::lloyd(points, centroids, config)
 }
 
 /// Runs K-Means warm-started from a previous run's centroids, adding
@@ -173,23 +205,44 @@ pub fn kmeans_warm<P: AsRef<[f32]>>(
     config: &KMeansConfig,
     rng: &mut impl Rng,
 ) -> KMeansResult {
+    kmeans_warm_points(
+        &Points::from_dense_rows(data),
+        prev_centroids,
+        extra_k,
+        config,
+        rng,
+    )
+}
+
+/// [`kmeans_warm`] over a pre-built [`Points`] structure.
+///
+/// # Panics
+///
+/// Panics if `prev_centroids.len() + extra_k == 0` or any centroid
+/// dimension is inconsistent with the points.
+pub fn kmeans_warm_points(
+    points: &Points,
+    prev_centroids: &[Vec<f32>],
+    extra_k: usize,
+    config: &KMeansConfig,
+    rng: &mut impl Rng,
+) -> KMeansResult {
     assert!(
         !prev_centroids.is_empty() || extra_k > 0,
         "k must be positive"
     );
-    let (points, dim) = collect_points(data);
     assert!(
-        prev_centroids.iter().all(|c| c.len() == dim),
+        prev_centroids.iter().all(|c| c.len() == points.dim()),
         "inconsistent point dimensions"
     );
-    let k = (prev_centroids.len() + extra_k).min(points.len());
+    let k = (prev_centroids.len() + extra_k).min(points.n());
     let mut centroids: Vec<Vec<f32>> = prev_centroids.iter().take(k).cloned().collect();
     obs::counter_add("kmeans.warm_starts", 1);
     obs::counter_add("kmeans.warm_kept_centroids", centroids.len() as u64);
     if centroids.len() < k {
-        centroids = seed_plus_plus(&points, centroids, k, rng);
+        centroids = seed_plus_plus(points.matrix(), centroids, k, rng);
     }
-    engine::lloyd(&points, dim, centroids, config)
+    engine::lloyd(points, centroids, config)
 }
 
 /// k-means++ seeding, continuing from `existing` centroids (empty for a
@@ -197,27 +250,26 @@ pub fn kmeans_warm<P: AsRef<[f32]>>(
 /// against the existing ones (warm), then each next centroid is sampled
 /// proportionally to squared distance from the nearest chosen one.
 fn seed_plus_plus(
-    points: &[&[f32]],
+    points: &PointMatrix,
     existing: Vec<Vec<f32>>,
     k: usize,
     rng: &mut impl Rng,
 ) -> Vec<Vec<f32>> {
+    let n = points.n();
     let mut centroids = existing;
     let mut dists: Vec<f32>;
     if centroids.is_empty() {
-        let first = rng.gen_range(0..points.len());
-        centroids.push(points[first].to_vec());
-        dists = points
-            .iter()
-            .map(|p| engine::distance_sq(p, &centroids[0]))
+        let first = rng.gen_range(0..n);
+        centroids.push(points.row(first).to_vec());
+        dists = (0..n)
+            .map(|i| engine::distance_sq(points.row(i), &centroids[0]))
             .collect();
     } else {
-        dists = points
-            .iter()
-            .map(|p| {
+        dists = (0..n)
+            .map(|i| {
                 centroids
                     .iter()
-                    .map(|c| engine::distance_sq(p, c))
+                    .map(|c| engine::distance_sq(points.row(i), c))
                     .fold(f32::INFINITY, f32::min)
             })
             .collect();
@@ -226,7 +278,7 @@ fn seed_plus_plus(
         let total: f32 = dists.iter().sum();
         let chosen = if total <= f32::EPSILON {
             // All points coincide with chosen centroids; pick uniformly.
-            rng.gen_range(0..points.len())
+            rng.gen_range(0..n)
         } else {
             let mut target = rng.gen_range(0.0..total);
             let mut idx = 0;
@@ -240,10 +292,10 @@ fn seed_plus_plus(
             }
             idx
         };
-        centroids.push(points[chosen].to_vec());
+        centroids.push(points.row(chosen).to_vec());
         let last = centroids.last().expect("just pushed");
-        for (d, p) in dists.iter_mut().zip(points) {
-            *d = d.min(engine::distance_sq(p, last));
+        for (i, d) in dists.iter_mut().enumerate() {
+            *d = d.min(engine::distance_sq(points.row(i), last));
         }
     }
     centroids
@@ -469,6 +521,52 @@ mod tests {
                 assert_eq!(ab, bb, "threads={threads}");
             }
             assert_eq!(one.iterations, many.iterations, "threads={threads}");
+        }
+    }
+
+    /// All three assignment kernels on near-tie-riddled sparse data:
+    /// the kernel choice must never leak into a single output bit.
+    #[test]
+    fn kernels_agree_bitwise() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let data: Vec<Vec<f32>> = (0..600)
+            .map(|_| {
+                (0..48)
+                    .map(|_| {
+                        if rng.gen_bool(0.3) {
+                            rng.gen_range(-1.0f32..1.0)
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let run = |kernel: Kernel| {
+            let mut rng = StdRng::seed_from_u64(34);
+            let config = KMeansConfig {
+                kernel,
+                ..KMeansConfig::default()
+            };
+            kmeans(&data, 9, &config, &mut rng)
+        };
+        let reference = run(Kernel::DenseScalar);
+        for kernel in [Kernel::Tiled, Kernel::TiledQuantized] {
+            let other = run(kernel);
+            assert_eq!(reference.assignments, other.assignments, "{kernel:?}");
+            assert_eq!(
+                reference.inertia.to_bits(),
+                other.inertia.to_bits(),
+                "{kernel:?}"
+            );
+            assert_eq!(reference.iterations, other.iterations, "{kernel:?}");
+            for (a, b) in reference.centroids.iter().zip(&other.centroids) {
+                let (ab, bb): (Vec<u32>, Vec<u32>) = (
+                    a.iter().map(|v| v.to_bits()).collect(),
+                    b.iter().map(|v| v.to_bits()).collect(),
+                );
+                assert_eq!(ab, bb, "{kernel:?}");
+            }
         }
     }
 

@@ -2,7 +2,8 @@
 //! the Lloyd invariants regardless of input shape, and the parallel
 //! engine must be bitwise insensitive to its thread count.
 
-use cluster::{kmeans, kmeans_warm, KMeansConfig};
+use cluster::matrix::{dense_dot, sparse_dot_sparse};
+use cluster::{kmeans, kmeans_warm, KMeansConfig, Kernel, Points};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -11,6 +12,19 @@ fn arb_points() -> impl Strategy<Value = Vec<Vec<f32>>> {
     proptest::collection::vec(
         proptest::collection::vec(-100.0f32..100.0, 2),
         1..40,
+    )
+}
+
+/// Mostly-zero rows in a higher dimension: the shape the sparse kernels
+/// and the i8 screen are built for, riddled with exact zeros and
+/// near-ties.
+fn arb_sparse_points() -> impl Strategy<Value = Vec<Vec<f32>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            (0u8..5, -1.0f32..1.0).prop_map(|(g, v)| if g < 3 { 0.0 } else { v }),
+            24,
+        ),
+        2..40,
     )
 }
 
@@ -134,6 +148,90 @@ proptest! {
             let ab: Vec<u32> = a.iter().map(|v| v.to_bits()).collect();
             let bb: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
             prop_assert_eq!(ab, bb);
+        }
+    }
+
+    /// The tentpole equivalence property: every kernel × thread-count
+    /// combination is bitwise identical to the dense-scalar single-thread
+    /// reference — assignments, inertia, centroids, iteration count. In
+    /// particular this proves the quantized screen lossless for K-Means:
+    /// whatever it prunes, not one output bit moves.
+    #[test]
+    fn kernels_and_threads_are_bitwise_equivalent(
+        data in arb_sparse_points(),
+        k in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let run = |kernel: Kernel, threads: usize| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let config = KMeansConfig { kernel, threads, chunk: 8, ..KMeansConfig::default() };
+            kmeans(&data, k, &config, &mut rng)
+        };
+        let reference = run(Kernel::DenseScalar, 1);
+        for kernel in [Kernel::DenseScalar, Kernel::Tiled, Kernel::TiledQuantized] {
+            for threads in [1usize, 7] {
+                let other = run(kernel, threads);
+                prop_assert_eq!(
+                    &reference.assignments, &other.assignments,
+                    "{:?} threads={}", kernel, threads
+                );
+                prop_assert_eq!(
+                    reference.inertia.to_bits(), other.inertia.to_bits(),
+                    "{:?} threads={}", kernel, threads
+                );
+                prop_assert_eq!(reference.iterations, other.iterations);
+                for (a, b) in reference.centroids.iter().zip(&other.centroids) {
+                    let ab: Vec<u32> = a.iter().map(|v| v.to_bits()).collect();
+                    let bb: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
+                    prop_assert_eq!(ab, bb, "{:?} threads={}", kernel, threads);
+                }
+            }
+        }
+    }
+
+    /// The refinement screen's certificate, stressed directly: for every
+    /// pair the i8 window must contain the exact f32 dot, and the
+    /// pruned+rescored pair set at any threshold must equal brute force.
+    #[test]
+    fn quantized_pair_screen_is_lossless(
+        data in arb_sparse_points(),
+        threshold in -0.5f32..1.0,
+    ) {
+        // L2-normalize (zero rows stay zero), like embedder output.
+        let rows: Vec<Vec<f32>> = data
+            .iter()
+            .map(|r| {
+                let n = r.iter().map(|v| v * v).sum::<f32>().sqrt();
+                if n == 0.0 { r.clone() } else { r.iter().map(|v| v / n).collect() }
+            })
+            .collect();
+        let points = Points::from_dense_rows(&rows);
+        let quant = points.quant();
+        for i in 0..rows.len() {
+            for j in (i + 1)..rows.len() {
+                let exact = dense_dot(&rows[i], &rows[j]);
+                let (ai, av) = points.sparse().row(i);
+                let (bi, bv) = points.sparse().row(j);
+                // Sparse and dense exact kernels agree (zero-sign aside).
+                prop_assert_eq!(
+                    (exact + 0.0).to_bits(),
+                    (sparse_dot_sparse(ai, av, bi, bv) + 0.0).to_bits()
+                );
+                // The certified window contains the exact kernel value.
+                let (approx, err) = quant.dot_window(i, quant, j);
+                prop_assert!(
+                    (f64::from(exact) - approx).abs() <= err,
+                    "window missed: exact {} vs {} ± {}", exact, approx, err
+                );
+                // Screen + rescore decides exactly like brute force.
+                let brute = exact.clamp(-1.0, 1.0) >= threshold;
+                let screened = if quant.pair_upper_bound(i, quant, j) < f64::from(threshold) {
+                    false
+                } else {
+                    exact.clamp(-1.0, 1.0) >= threshold
+                };
+                prop_assert_eq!(brute, screened, "pair ({}, {})", i, j);
+            }
         }
     }
 

@@ -34,9 +34,11 @@
 #![warn(missing_docs)]
 
 pub mod features;
+pub mod sparse;
 pub mod vector;
 
 pub use features::extract_features;
+pub use sparse::SparseEmbedding;
 pub use vector::Embedding;
 
 use minilang::Module;
@@ -75,12 +77,85 @@ impl Embedder {
     /// Embeds a module.
     ///
     /// The module is canonicalized first, so alpha-renamed programs embed
-    /// identically.
+    /// identically. Allocates a scratch buffer per call; batch callers
+    /// should reuse one [`EmbedBuffer`] via [`Embedder::embed_into`] or
+    /// [`Embedder::embed_sparse_into`] instead.
     pub fn embed(&self, module: &Module) -> Embedding {
+        let mut buf = EmbedBuffer::new();
+        let mut values = Vec::new();
+        self.embed_into(module, &mut buf, &mut values);
+        Embedding::from_raw(values)
+    }
+
+    /// Embeds a module into `out`, reusing `buf`'s accumulation scratch
+    /// and `out`'s allocation across calls (the batch-embedding path of
+    /// the similarity pipeline). `out` holds the L2-normalized dense
+    /// values afterwards, bitwise identical to [`Embedder::embed`].
+    pub fn embed_into(&self, module: &Module, buf: &mut EmbedBuffer, out: &mut Vec<f32>) {
+        let norm = self.accumulate(module, buf);
+        out.clear();
+        out.resize(self.dim, 0.0);
+        for &bucket in &buf.touched {
+            let v = buf.scratch[bucket as usize];
+            out[bucket as usize] = if norm == 0.0 { v } else { v / norm };
+        }
+        buf.reset_touched();
+    }
+
+    /// Embeds a module as a [`SparseEmbedding`]: only the touched
+    /// buckets are stored, so a batch of embeddings costs O(features)
+    /// memory per module instead of O(dim). Densifying the result is
+    /// bitwise identical to [`Embedder::embed`].
+    pub fn embed_sparse(&self, module: &Module) -> SparseEmbedding {
+        let mut buf = EmbedBuffer::new();
+        self.embed_sparse_into(module, &mut buf)
+    }
+
+    /// [`Embedder::embed_sparse`] with a caller-owned reusable buffer.
+    pub fn embed_sparse_into(&self, module: &Module, buf: &mut EmbedBuffer) -> SparseEmbedding {
+        let norm = self.accumulate(module, buf);
+        let indices = buf.touched.clone();
+        let values: Vec<f32> = buf
+            .touched
+            .iter()
+            .map(|&bucket| {
+                let v = buf.scratch[bucket as usize];
+                if norm == 0.0 {
+                    v
+                } else {
+                    v / norm
+                }
+            })
+            .collect();
+        buf.reset_touched();
+        // The stored values are the *normalized* components; their norm
+        // is ~1 but must be recomputed (bitwise) rather than assumed,
+        // exactly like the dense path does after dividing.
+        let norm = if norm == 0.0 {
+            norm
+        } else {
+            values_norm(&values)
+        };
+        SparseEmbedding::from_parts_with_norm(self.dim, indices, values, norm)
+    }
+
+    /// Hashes the module's features into `buf.scratch` and returns the
+    /// pre-normalization Euclidean norm. `buf.touched` holds the sorted,
+    /// deduplicated bucket list afterwards; the caller must call
+    /// `buf.reset_touched()` once done with the scratch values.
+    fn accumulate(&self, module: &Module, buf: &mut EmbedBuffer) -> f32 {
         let features = extract_features(module);
         obs::counter_add("embed.vectors", 1);
         obs::counter_add("embed.features", features.len() as u64);
-        let mut values = vec![0.0f32; self.dim];
+        if buf.scratch.len() != self.dim {
+            assert!(
+                buf.scratch.iter().all(|&v| v == 0.0),
+                "EmbedBuffer reused across embedder dimensions mid-accumulation"
+            );
+            buf.scratch.clear();
+            buf.scratch.resize(self.dim, 0.0);
+        }
+        buf.touched.clear();
         for feature in &features {
             let h = fnv1a(feature.text.as_bytes());
             let bucket = (h % self.dim as u64) as usize;
@@ -91,9 +166,57 @@ impl Embedder {
             } else {
                 -1.0
             };
-            values[bucket] += sign * feature.weight;
+            buf.scratch[bucket] += sign * feature.weight;
+            buf.touched.push(bucket as u32);
         }
-        Embedding::from_raw(values).normalized()
+        buf.touched.sort_unstable();
+        buf.touched.dedup();
+        // Ascending-index sum of squares: the same summation order the
+        // dense `Embedding::norm` uses (zeros contribute nothing).
+        // The `+ 0.0` canonicalizes the empty sum's `-0.0` to `+0.0`,
+        // matching the dense norm of an all-zero vector (see
+        // `vector::slice_norm`).
+        buf.touched
+            .iter()
+            .map(|&b| {
+                let v = buf.scratch[b as usize];
+                v * v
+            })
+            .sum::<f32>()
+            .sqrt()
+            + 0.0
+    }
+}
+
+/// Euclidean norm of sparse values in storage (= ascending index) order,
+/// with the zero sign canonicalized (see `vector::slice_norm`).
+fn values_norm(values: &[f32]) -> f32 {
+    values.iter().map(|v| v * v).sum::<f32>().sqrt() + 0.0
+}
+
+/// Reusable accumulation scratch for [`Embedder::embed_into`] /
+/// [`Embedder::embed_sparse_into`]: a dense bucket array (kept all-zero
+/// between calls, so reuse costs only the touched entries) plus the
+/// touched-bucket list.
+#[derive(Debug, Default)]
+pub struct EmbedBuffer {
+    scratch: Vec<f32>,
+    touched: Vec<u32>,
+}
+
+impl EmbedBuffer {
+    /// An empty buffer; it sizes itself to the embedder on first use.
+    pub fn new() -> Self {
+        EmbedBuffer::default()
+    }
+
+    /// Zeroes the touched scratch entries, restoring the all-zero
+    /// invariant without an O(dim) pass.
+    fn reset_touched(&mut self) {
+        for &bucket in &self.touched {
+            self.scratch[bucket as usize] = 0.0;
+        }
+        self.touched.clear();
     }
 }
 

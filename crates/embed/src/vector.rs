@@ -8,21 +8,58 @@ use std::fmt;
 /// [`Embedding::cosine`] reduces to a dot product; the methods here also
 /// handle unnormalized and zero vectors gracefully because K-Means
 /// centroids are running means, not unit vectors.
+///
+/// The Euclidean norm is computed **once at construction** and cached:
+/// the refinement inner loop of the similarity pipeline calls
+/// [`Embedding::cosine`] / [`Embedding::dot_normalized`] O(|cluster|²)
+/// times per vector, and recomputing two O(dim) norm passes per call was
+/// pure waste (ISSUE 6 satellite). Mutating methods
+/// ([`Embedding::add_assign`], [`Embedding::scale_down`]) refresh the
+/// cache.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Embedding {
     values: Vec<f32>,
+    /// Cached Euclidean norm of `values`.
+    norm: f32,
+}
+
+/// Euclidean norm of a slice, summed in ascending index order — the
+/// workspace-wide canonical summation order (see the determinism notes
+/// in `cluster`). The trailing `+ 0.0` canonicalizes the sign of zero:
+/// `f32::sum` of an *empty* iterator is `-0.0`, which would make sparse
+/// (no stored terms) and dense (≥ 1 zero term) norms differ in their
+/// zero bit; `x + 0.0` maps `-0.0` to `+0.0` and is exact everywhere
+/// else.
+pub(crate) fn slice_norm(values: &[f32]) -> f32 {
+    values.iter().map(|v| v * v).sum::<f32>().sqrt() + 0.0
 }
 
 impl Embedding {
-    /// Wraps raw values.
+    /// Wraps raw values, caching their norm.
     pub fn from_raw(values: Vec<f32>) -> Self {
-        Embedding { values }
+        let norm = slice_norm(&values);
+        Embedding { values, norm }
+    }
+
+    /// Wraps raw values whose norm the caller already knows.
+    ///
+    /// Used by the sparse embedding path, which computes the norm during
+    /// accumulation; the value must equal `slice_norm(&values)` bitwise
+    /// (debug-asserted).
+    pub(crate) fn from_raw_with_norm(values: Vec<f32>, norm: f32) -> Self {
+        debug_assert_eq!(
+            norm.to_bits(),
+            slice_norm(&values).to_bits(),
+            "cached norm must match the values"
+        );
+        Embedding { values, norm }
     }
 
     /// A zero vector of dimension `dim`.
     pub fn zeros(dim: usize) -> Self {
         Embedding {
             values: vec![0.0; dim],
+            norm: 0.0,
         }
     }
 
@@ -36,9 +73,9 @@ impl Embedding {
         self.values.len()
     }
 
-    /// Euclidean norm.
+    /// Euclidean norm (cached at construction).
     pub fn norm(&self) -> f32 {
-        self.values.iter().map(|v| v * v).sum::<f32>().sqrt()
+        self.norm
     }
 
     /// Returns an L2-normalized copy; the zero vector stays zero.
@@ -47,9 +84,7 @@ impl Embedding {
         if n == 0.0 {
             return self.clone();
         }
-        Embedding {
-            values: self.values.iter().map(|v| v / n).collect(),
-        }
+        Embedding::from_raw(self.values.iter().map(|v| v / n).collect())
     }
 
     /// Dot product.
@@ -68,11 +103,13 @@ impl Embedding {
 
     /// Cosine similarity in `[-1, 1]`; zero if either vector is zero.
     ///
+    /// Uses the cached norms — no O(dim) norm passes.
+    ///
     /// # Panics
     ///
     /// Panics if dimensions differ.
     pub fn cosine(&self, other: &Embedding) -> f32 {
-        let denom = self.norm() * other.norm();
+        let denom = self.norm * other.norm;
         if denom == 0.0 {
             return 0.0;
         }
@@ -81,7 +118,7 @@ impl Embedding {
 
     /// Cosine similarity for vectors already known to be L2-normalized
     /// (every [`crate::Embedder`] output is): one dot product, skipping
-    /// the two O(dim) norm passes [`Embedding::cosine`] would redo. This
+    /// even the cached-norm division [`Embedding::cosine`] would do. This
     /// is the fast path of the pairwise refinement loop, where each
     /// vector is compared against every cluster sibling.
     ///
@@ -130,6 +167,7 @@ impl Embedding {
         for (a, b) in self.values.iter_mut().zip(&other.values) {
             *a += b;
         }
+        self.norm = slice_norm(&self.values);
     }
 
     /// Divides every component by `n` (centroid finalization).
@@ -142,6 +180,7 @@ impl Embedding {
         for v in &mut self.values {
             *v /= n;
         }
+        self.norm = slice_norm(&self.values);
     }
 }
 
@@ -216,6 +255,16 @@ mod tests {
         c.add_assign(&vec2(4.0, 8.0));
         c.scale_down(2.0);
         assert_eq!(c.as_slice(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn mutation_refreshes_the_cached_norm() {
+        let mut v = vec2(3.0, 4.0);
+        v.add_assign(&vec2(0.0, 0.0));
+        assert!((v.norm() - 5.0).abs() < 1e-6);
+        v.scale_down(5.0);
+        assert!((v.norm() - 1.0).abs() < 1e-6);
+        assert_eq!(v.norm().to_bits(), slice_norm(v.as_slice()).to_bits());
     }
 
     #[test]

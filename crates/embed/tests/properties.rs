@@ -1,6 +1,6 @@
 //! Property tests for the embedding layer.
 
-use embed::{Embedder, Embedding};
+use embed::{EmbedBuffer, Embedder, Embedding};
 use minilang::gen::{generate, mutate, Behavior, Mutation};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -73,6 +73,75 @@ proptest! {
             let c = e.embed(&base).cosine(&e.embed(&near));
             prop_assert!(c > 0.5, "dim {}: near-neighbour cosine {}", dim, c);
         }
+    }
+
+    /// The sparse embedding path is a pure layout change: densified
+    /// sparse output, the reusable-buffer dense output and the plain
+    /// dense output must agree **bitwise** — values, norms, everything.
+    /// Buffer reuse across modules must not leak state.
+    #[test]
+    fn sparse_and_buffered_paths_are_bitwise_equal_to_dense(
+        a in any::<u64>(), b in any::<u64>(),
+        ba in 0usize..9, bb in 0usize..9,
+        dim in 16usize..768,
+    ) {
+        let e = Embedder::new(dim);
+        let (ma, mb) = (module_from(a, ba, &[]), module_from(b, bb, &[]));
+        let dense = e.embed(&ma);
+        let sparse = e.embed_sparse(&ma);
+        let densified = sparse.to_dense();
+        let bits = |v: &Embedding| -> Vec<u32> {
+            v.as_slice().iter().map(|x| x.to_bits()).collect()
+        };
+        prop_assert_eq!(bits(&dense), bits(&densified));
+        prop_assert_eq!(dense.norm().to_bits(), sparse.norm().to_bits());
+
+        // One shared buffer, interleaved across two modules: outputs
+        // must match the allocating paths bit for bit.
+        let mut buf = EmbedBuffer::new();
+        let mut out = Vec::new();
+        e.embed_into(&ma, &mut buf, &mut out);
+        prop_assert_eq!(
+            bits(&dense),
+            out.iter().map(|x| x.to_bits()).collect::<Vec<u32>>()
+        );
+        let sb = e.embed_sparse_into(&mb, &mut buf);
+        prop_assert_eq!(&sb, &e.embed_sparse(&mb));
+        e.embed_into(&ma, &mut buf, &mut out);
+        prop_assert_eq!(
+            bits(&dense),
+            out.iter().map(|x| x.to_bits()).collect::<Vec<u32>>()
+        );
+    }
+
+    /// Sparse·sparse and sparse·dense dot kernels against the dense dot,
+    /// bit for bit. (Both sides are canonicalized with `+ 0.0` — the
+    /// kernels may legitimately differ in the *sign* of an exactly-zero
+    /// dot, which no comparison or downstream arithmetic can observe.)
+    #[test]
+    fn sparse_dot_kernels_match_dense_bitwise(
+        a in any::<u64>(), b in any::<u64>(),
+        ba in 0usize..9, bb in 0usize..9,
+        dim in 16usize..768,
+    ) {
+        let e = Embedder::new(dim);
+        let (ma, mb) = (module_from(a, ba, &[]), module_from(b, bb, &[]));
+        let (da, db) = (e.embed(&ma), e.embed(&mb));
+        let (sa, sb) = (e.embed_sparse(&ma), e.embed_sparse(&mb));
+        let reference = da.dot(&db) + 0.0;
+        prop_assert_eq!(reference.to_bits(), (sa.dot(&sb) + 0.0).to_bits());
+        prop_assert_eq!(
+            reference.to_bits(),
+            (sa.dot_dense(db.as_slice()) + 0.0).to_bits()
+        );
+        prop_assert_eq!(
+            (da.cosine(&db) + 0.0).to_bits(),
+            (sa.cosine(&sb) + 0.0).to_bits()
+        );
+        prop_assert_eq!(
+            (da.dot_normalized(&db) + 0.0).to_bits(),
+            (sa.dot_normalized(&sb) + 0.0).to_bits()
+        );
     }
 
     #[test]

@@ -17,8 +17,8 @@
 //! freely, but results must be *combined* in an order derived from the
 //! input alone.
 
-use cluster::{kmeans, kmeans_warm, KMeansConfig};
-use embed::{Embedder, Embedding};
+use cluster::{kmeans_points, kmeans_warm_points, KMeansConfig, Kernel, Points};
+use embed::{EmbedBuffer, Embedder, SparseEmbedding};
 use oss_types::PackageId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -48,6 +48,14 @@ pub struct SimilarityConfig {
     pub growth: f64,
     /// RNG seed for k-means++ initialization.
     pub seed: u64,
+    /// Worker threads for the embed, assignment and refinement fan-outs;
+    /// `0` means `available_parallelism`. Any value yields identical
+    /// output (see the module-level determinism contract).
+    pub threads: usize,
+    /// Assignment/refinement kernel. Every [`Kernel`] produces
+    /// bitwise-identical output; the default enables the cache-tiled
+    /// sparse kernels with the certified i8 screen.
+    pub kernel: Kernel,
 }
 
 impl Default for SimilarityConfig {
@@ -59,6 +67,8 @@ impl Default for SimilarityConfig {
             max_k: 256,
             growth: 1.3,
             seed: 0x51,
+            threads: 0,
+            kernel: Kernel::default(),
         }
     }
 }
@@ -85,6 +95,19 @@ pub struct SimilarityOutput {
     pub trace: Vec<(usize, f32)>,
 }
 
+/// Resolves a configured worker count (`0` = `available_parallelism`),
+/// never exceeding the number of work items.
+fn resolve_threads(requested: usize, items: usize) -> usize {
+    let threads = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    threads.clamp(1, items.max(1))
+}
+
 /// Runs the pipeline over `(package, code)` entries belonging to one
 /// ecosystem. Unparseable code is skipped (it can never join a group,
 /// exactly like a package the Packj extractor chokes on).
@@ -93,25 +116,27 @@ pub fn similar_pairs(
     config: &SimilarityConfig,
 ) -> SimilarityOutput {
     // 1. Parse + embed — embarrassingly parallel, fanned out across
-    // cores with crossbeam scoped threads.
+    // cores with crossbeam scoped threads. Each worker reuses one
+    // `EmbedBuffer` across its whole chunk (no per-module `dim`-sized
+    // allocation) and emits *sparse* embeddings — a feature-hashed
+    // module touches a few hundred of `dim` buckets, so the batch costs
+    // O(features) memory per module instead of O(dim).
     let phase = obs::span!("similarity/embed");
     obs::counter_add("similarity.entries", entries.len() as u64);
     let embedder = Embedder::new(config.dim);
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(entries.len().max(1));
+    let threads = resolve_threads(config.threads, entries.len());
     let chunk_size = entries.len().div_ceil(threads.max(1)).max(1);
-    let embedded: Vec<(usize, Embedding)> = crossbeam::thread::scope(|scope| {
+    let embedded: Vec<(usize, SparseEmbedding)> = crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (c, chunk) in entries.chunks(chunk_size).enumerate() {
             let embedder = &embedder;
             handles.push(scope.spawn(move |_| {
                 let base = c * chunk_size;
+                let mut buf = EmbedBuffer::new();
                 let mut out = Vec::with_capacity(chunk.len());
                 for (j, (_, code)) in chunk.iter().enumerate() {
                     if let Ok(module) = minilang::parse(code) {
-                        out.push((base + j, embedder.embed(&module)));
+                        out.push((base + j, embedder.embed_sparse_into(&module, &mut buf)));
                     }
                 }
                 out
@@ -124,7 +149,7 @@ pub fn similar_pairs(
         all
     })
     .expect("crossbeam scope");
-    let mut vectors: Vec<Embedding> = Vec::with_capacity(embedded.len());
+    let mut vectors: Vec<SparseEmbedding> = Vec::with_capacity(embedded.len());
     let mut owners: Vec<usize> = Vec::with_capacity(embedded.len());
     for (owner, vector) in embedded {
         vectors.push(vector);
@@ -139,7 +164,14 @@ pub fn similar_pairs(
             trace: Vec::new(),
         };
     }
-    let data: Vec<&[f32]> = vectors.iter().map(|v| v.as_slice()).collect();
+    // One `Points` build per call: dense SoA matrix + CSR view + (lazy)
+    // quantized companion, shared by every K-Means run of the schedule
+    // and by the refinement screen.
+    let rows: Vec<(&[u32], &[f32])> = vectors
+        .iter()
+        .map(|v| (v.indices(), v.values()))
+        .collect();
+    let points = Points::from_sparse_rows(config.dim, &rows);
 
     // 2. Grow-k K-Means (paper §III-A: start at 3, grow until stable).
     // Each step warm-starts from the previous step's centroids and
@@ -148,14 +180,18 @@ pub fn similar_pairs(
     // every k.
     let phase = obs::span!("similarity/schedule");
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let kconfig = KMeansConfig::default();
-    let mut k = 3usize.min(data.len());
-    let mut best = kmeans(&data, k, &kconfig, &mut rng);
+    let kconfig = KMeansConfig {
+        threads: config.threads,
+        kernel: config.kernel,
+        ..KMeansConfig::default()
+    };
+    let mut k = 3usize.min(points.n());
+    let mut best = kmeans_points(&points, k, &kconfig, &mut rng);
     let mut trace = vec![(k, best.inertia)];
-    let max_k = config.max_k.min(data.len());
+    let max_k = config.max_k.min(points.n());
     while k < max_k {
         let next_k = (((k as f64) * config.growth) as usize).max(k + 1).min(max_k);
-        let next = kmeans_warm(&data, &best.centroids, next_k - k, &kconfig, &mut rng);
+        let next = kmeans_warm_points(&points, &best.centroids, next_k - k, &kconfig, &mut rng);
         trace.push((next_k, next.inertia));
         let improvement = if best.inertia <= f32::EPSILON {
             0.0
@@ -173,19 +209,24 @@ pub fn similar_pairs(
 
     // 3. Cosine-refined pairs within each cluster. The big clusters
     // (floods) dominate this O(|c|²) step. Workers are bounded by
-    // `available_parallelism` (not one thread per cluster) and clusters
-    // are distributed largest-first onto the least-loaded worker, so one
-    // flood cluster cannot serialize the tail. Embedder outputs are
-    // L2-normalized, so the similarity is a single dot product.
+    // the configured thread count (not one thread per cluster) and
+    // clusters are distributed largest-first onto the least-loaded
+    // worker, so one flood cluster cannot serialize the tail. Embedder
+    // outputs are L2-normalized, so the similarity is a single sparse
+    // dot product — and with the quantized kernel, most pairs never pay
+    // even that: the certified i8 upper bound proves them `< threshold`
+    // first (survivors are rescored exactly, so the pair set is bitwise
+    // identical — see `cluster::matrix`). The screen is only sound for
+    // `threshold > -1`: at `threshold ≤ -1` the exact path's clamp to
+    // `-1` could lift a provably-small dot back over the threshold.
     // Determinism: each worker tags its output with the cluster index and
     // the merge flattens in cluster-index order, so the pair list does
     // not depend on the worker count or scheduling.
     let phase = obs::span!("similarity/refine");
     let clusters = best.clusters();
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(clusters.len().max(1));
+    let quant = (config.kernel == Kernel::TiledQuantized && config.threshold > -1.0)
+        .then(|| points.quant());
+    let threads = resolve_threads(config.threads, clusters.len());
     let mut order: Vec<usize> = (0..clusters.len()).collect();
     order.sort_by_key(|&c| std::cmp::Reverse(clusters[c].len()));
     let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); threads];
@@ -196,18 +237,23 @@ pub fn similar_pairs(
         loads[w] += size * size.saturating_sub(1) / 2;
         buckets[w].push(c);
     }
-    // Pair lists a worker produces, tagged with their cluster index.
-    type TaggedPairs = Vec<(usize, Vec<(usize, usize)>)>;
+    // Pair lists a worker produces, tagged with their cluster index,
+    // plus the worker's screen tallies.
+    type TaggedPairs = (Vec<(usize, Vec<(usize, usize)>)>, u64, u64);
     let mut by_cluster: Vec<Vec<(usize, usize)>> = vec![Vec::new(); clusters.len()];
     let refined: Vec<TaggedPairs> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = buckets
             .iter()
             .map(|bucket| {
                 let clusters = &clusters;
-                let vectors = &vectors;
+                let points = &points;
                 let owners = &owners;
                 scope.spawn(move |_| {
-                    bucket
+                    let threshold = f64::from(config.threshold);
+                    let (matrix, sparse) = (points.matrix(), points.sparse());
+                    let mut pruned = 0u64;
+                    let mut rescored = 0u64;
+                    let tagged = bucket
                         .iter()
                         .map(|&c| {
                             let members = &clusters[c];
@@ -215,16 +261,42 @@ pub fn similar_pairs(
                             for a in 0..members.len() {
                                 for b in (a + 1)..members.len() {
                                     let (ia, ib) = (members[a], members[b]);
-                                    if vectors[ia].dot_normalized(&vectors[ib])
-                                        >= config.threshold
-                                    {
+                                    if let Some(q) = quant {
+                                        if q.pair_upper_bound(ia, q, ib) < threshold {
+                                            pruned += 1;
+                                            continue;
+                                        }
+                                    }
+                                    rescored += 1;
+                                    // Gather-based sparse·dense dot: same
+                                    // bits as the dense dot (zero-skip
+                                    // lemma, see `cluster::matrix`), no
+                                    // branchy merge walk. The dense-scalar
+                                    // kernel keeps the pre-kernel dense
+                                    // path as the benchmark baseline.
+                                    let dot = match config.kernel {
+                                        Kernel::DenseScalar => cluster::matrix::dense_dot(
+                                            matrix.row(ia),
+                                            matrix.row(ib),
+                                        ),
+                                        _ => {
+                                            let (si, sv) = sparse.row(ia);
+                                            cluster::matrix::sparse_dot_dense(
+                                                si,
+                                                sv,
+                                                matrix.row(ib),
+                                            )
+                                        }
+                                    };
+                                    if dot.clamp(-1.0, 1.0) >= config.threshold {
                                         local.push((owners[ia], owners[ib]));
                                     }
                                 }
                             }
                             (c, local)
                         })
-                        .collect()
+                        .collect();
+                    (tagged, pruned, rescored)
                 })
             })
             .collect();
@@ -234,11 +306,19 @@ pub fn similar_pairs(
             .collect()
     })
     .expect("crossbeam scope");
-    for (c, local) in refined.into_iter().flatten() {
-        by_cluster[c] = local;
+    let mut pruned_total = 0u64;
+    let mut rescored_total = 0u64;
+    for (tagged, pruned, rescored) in refined {
+        pruned_total += pruned;
+        rescored_total += rescored;
+        for (c, local) in tagged {
+            by_cluster[c] = local;
+        }
     }
     let pairs: Vec<(usize, usize)> = by_cluster.into_iter().flatten().collect();
     obs::counter_add("similarity.pairs", pairs.len() as u64);
+    obs::counter_add("kernel.pruned_quantized", pruned_total);
+    obs::counter_add("kernel.rescored", rescored_total);
     drop(phase);
     SimilarityOutput {
         pairs,
