@@ -61,4 +61,15 @@ cargo bench --no-run -p malgraph-bench
 echo "== kernel_bench --quick"
 cargo run --release -q -p malgraph-bench --bin kernel_bench -- --quick
 
+# The analysis-harness gates (PR 7), run explicitly for the same reason:
+#  * analysis_equivalence — every experiment and extension section from
+#    the indexed path (serial, 7-thread, and warm rerun) is byte-identical
+#    to the uncached serial reference;
+#  * analyze_bench --quick — the same identity asserted on a fresh
+#    release-mode run before any speedup number is written.
+echo "== cargo test -q -p malgraph-bench --test analysis_equivalence"
+cargo test -q -p malgraph-bench --test analysis_equivalence
+echo "== analyze_bench --quick"
+cargo run --release -q -p malgraph-bench --bin analyze_bench -- --quick
+
 echo "CI OK"

@@ -1,19 +1,24 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--seed N] [--scale F] [--out PATH] [ids…]
+//! repro [--seed N] [--scale F] [--threads N] [--uncached] [--out PATH] [ids…]
 //! ```
 //!
-//! Without ids, every experiment plus the validation section runs. With
+//! Without ids, every experiment plus the extension sections runs. With
 //! `--out`, the full report is also written as Markdown (used to refresh
-//! `EXPERIMENTS.md`).
+//! `EXPERIMENTS.md`). `--threads` fans the sections out over scoped
+//! worker threads (the report is byte-identical at any thread count);
+//! `--uncached` switches to the serial reference mode that recomputes
+//! every query from scratch.
 
-use malgraph_bench::{Repro, EXPERIMENTS};
+use malgraph_bench::{AnalyzeMode, Repro, EXPERIMENTS, EXTENSIONS};
 use std::io::Write as _;
 
 fn main() {
     let mut seed = 42u64;
     let mut scale = 1.0f64; // the full paper-scale corpus runs in under a minute
+    let mut threads = 1usize;
+    let mut mode = AnalyzeMode::Indexed;
     let mut out_path: Option<String> = None;
     let mut check = false;
     let mut ids: Vec<String> = Vec::new();
@@ -33,13 +38,24 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--scale needs a float in (0,1]"));
             }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--threads needs a positive integer"));
+            }
+            "--uncached" => mode = AnalyzeMode::Uncached,
             "--out" => {
                 out_path = Some(args.next().unwrap_or_else(|| die("--out needs a path")));
             }
             "--check" => check = true,
             "--help" | "-h" => {
-                eprintln!("usage: repro [--seed N] [--scale F] [--out PATH] [--check] [ids…]");
+                eprintln!(
+                    "usage: repro [--seed N] [--scale F] [--threads N] [--uncached] \
+                     [--out PATH] [--check] [ids…]"
+                );
                 eprintln!("experiments: {}", EXPERIMENTS.join(" "));
+                eprintln!("extensions:  {}", EXTENSIONS.join(" "));
                 return;
             }
             id => ids.push(id.to_string()),
@@ -47,14 +63,11 @@ fn main() {
     }
     if ids.is_empty() {
         ids = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
-        ids.push("detection".into());
-        ids.push("typosquat".into());
-        ids.push("scaling".into());
-        ids.push("validation".into());
+        ids.extend(EXTENSIONS.iter().map(|s| s.to_string()));
     }
 
     eprintln!("generating world (seed {seed}, scale {scale}) and building MALGRAPH…");
-    let repro = Repro::new(seed, scale);
+    let repro = Repro::with_mode(seed, scale, mode);
     eprintln!(
         "corpus: {} packages, {} reports, {} graph nodes",
         repro.dataset.packages.len(),
@@ -62,21 +75,36 @@ fn main() {
         repro.graph.graph.node_count()
     );
 
+    let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
     let mut full = String::new();
     let analyze_span = obs::span!("analyze");
-    for id in &ids {
-        let section = match id.as_str() {
-            "validation" => repro.validation(),
-            "detection" => repro.detection(),
-            "typosquat" => repro.typosquat(),
-            "scaling" => repro.scaling(),
-            other => repro.run(other),
-        };
+    let sections = repro.run_all(&id_refs, threads);
+    let analyze_elapsed = analyze_span.finish();
+    for section in &sections {
         println!("{section}");
-        full.push_str(&section);
+        full.push_str(section);
         full.push('\n');
     }
-    let analyze_elapsed = analyze_span.finish();
+
+    // Per-section wall times from the `analyze/{id}` spans (worker wall
+    // time when `--threads` fans out, so the numbers stay comparable).
+    let section_ms: Vec<(String, f64)> = ids
+        .iter()
+        .map(|id| {
+            let us = obs::span_total_micros(&format!("analyze/{id}"));
+            (id.clone(), us as f64 / 1e3)
+        })
+        .collect();
+    {
+        let mut ranked: Vec<&(String, f64)> = section_ms.iter().collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let line: Vec<String> = ranked
+            .iter()
+            .take(5)
+            .map(|(id, ms)| format!("{id} {ms:.0}ms"))
+            .collect();
+        eprintln!("slowest sections: {}", line.join(" · "));
+    }
 
     let t = &repro.timings;
     let timings_line = format!(
@@ -117,6 +145,7 @@ fn main() {
         md.push_str(&format!("(seed {seed}, scale {scale}).\n\n```text\n"));
         md.push_str(&full);
         md.push_str("```\n");
+        md.push_str(&timing_appendix(&section_ms, threads, mode));
         md.push_str(&bench_appendix(&path));
         md.push_str(&format!("\nLast run {timings_line}.\n"));
         let mut file = std::fs::File::create(&path)
@@ -127,8 +156,33 @@ fn main() {
     }
 }
 
+/// Per-section timing appendix: the `analyze/{id}` span totals of this
+/// run, slowest first, so the regenerated EXPERIMENTS.md records where
+/// analyze time goes alongside what it produces.
+fn timing_appendix(section_ms: &[(String, f64)], threads: usize, mode: AnalyzeMode) -> String {
+    let mut md = String::from(
+        "\n## Analyze timings — per section\n\n\
+         Wall time spent inside each section's `analyze/{id}` span during this run\n\
+         (worker wall time under `--threads`), slowest first.\n\n```text\n",
+    );
+    md.push_str(&format!(
+        "mode {:?} · {} worker thread(s)\n{:<12} {:>10}\n",
+        mode, threads, "section", "ms"
+    ));
+    let mut ranked: Vec<&(String, f64)> = section_ms.iter().collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for (id, ms) in ranked {
+        md.push_str(&format!("{id:<12} {ms:>10.1}\n"));
+    }
+    let total: f64 = section_ms.iter().map(|(_, ms)| ms).sum();
+    md.push_str(&format!("{:<12} {total:>10.1}\n", "sum"));
+    md.push_str("```\n");
+    md
+}
+
 /// Perf-trajectory appendix: the engine-benchmark snapshots
-/// (`BENCH_PR1.json`, `BENCH_PR6.json`) rendered as rows next to the
+/// (`BENCH_PR1.json`, `BENCH_PR6.json`, `BENCH_PR7.json`) rendered as
+/// rows next to the
 /// paper tables, so one regenerated EXPERIMENTS.md carries both "does it
 /// reproduce the paper" and "how fast does it do so". Snapshots are
 /// looked up beside the output file; absent ones are skipped, so the
@@ -204,14 +258,53 @@ fn bench_appendix(out_path: &str) -> String {
         body.push('\n');
     }
 
+    if let Some(pr7) = load("BENCH_PR7.json") {
+        body.push_str(&format!(
+            "== BENCH_PR7 — analysis harness, indexed vs uncached, identical reports \
+             (seed {}, scale {}, {} host thread(s))\n\
+             {:<12}  {:>11}  {:>10}  {:>7}\n",
+            u(&pr7, "seed"),
+            f(&pr7, "scale"),
+            u(&pr7, "host_threads"),
+            "section", "uncached ms", "indexed ms", "speedup"
+        ));
+        for row in pr7.get("results").and_then(|v| v.as_array()).unwrap_or(&[]) {
+            body.push_str(&format!(
+                "{:<12}  {:>11.0}  {:>10.0}  {:>7.2}\n",
+                row.get("id").and_then(|v| v.as_str()).unwrap_or("?"),
+                f(row, "uncached_ms"),
+                f(row, "indexed_ms"),
+                f(row, "speedup")
+            ));
+        }
+        body.push_str(&format!(
+            "{:<12}  {:>11.0}  {:>10.0}  {:>7.2}   ({}-thread total {:.0} ms)\n",
+            "total",
+            f(&pr7, "uncached_total_ms"),
+            f(&pr7, "indexed_total_ms"),
+            f(&pr7, "speedup_indexed"),
+            u(&pr7, "threads"),
+            f(&pr7, "indexed_parallel_ms")
+        ));
+        if f(&pr7, "seed_analyze_ms") > 0.0 {
+            body.push_str(&format!(
+                "vs pre-index analyze stage ({:.1} s recorded at the seed): {:.2}x\n",
+                f(&pr7, "seed_analyze_ms") / 1e3,
+                f(&pr7, "speedup_vs_seed")
+            ));
+        }
+        body.push('\n');
+    }
+
     if !body.is_empty() {
         md.push_str(
             "\n## Perf trajectory — engine benchmark snapshots\n\n\
-             Rebuilt from `BENCH_PR1.json` / `BENCH_PR6.json` beside this file\n\
-             (regenerate them with `cargo run -p malgraph-bench --bin kmeans_bench --release`\n\
-             and `cargo run -p malgraph-bench --bin kernel_bench --release`). The PR-6\n\
-             columns are end-to-end assignment + cosine refinement; every mode is\n\
-             asserted bitwise-identical before its time is reported.\n\n```text\n",
+             Rebuilt from `BENCH_PR1.json` / `BENCH_PR6.json` / `BENCH_PR7.json` beside\n\
+             this file (regenerate them with the `kmeans_bench`, `kernel_bench` and\n\
+             `analyze_bench` release binaries). The PR-6 columns are end-to-end\n\
+             assignment + cosine refinement; the PR-7 columns are full analysis\n\
+             sections; every mode is asserted bitwise-identical before its time is\n\
+             reported.\n\n```text\n",
         );
         md.push_str(body.trim_end_matches('\n'));
         md.push_str("\n```\n");

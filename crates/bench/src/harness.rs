@@ -2,12 +2,31 @@
 //! paper from one simulated world, printing paper-reported values next to
 //! measured ones.
 
-use crawler::{collect, CollectedDataset};
-use malgraph_core::analysis::{campaign, diversity, evolution, overlap, quality};
+use crawler::{collect, CollectedDataset, CollectedPackage, IndexedRegistry};
+use graphstore::NodeId;
+use malgraph_core::analysis::index::AnalysisIndex;
+use malgraph_core::analysis::{campaign, diversity, evolution, overlap, quality, typosquat};
 use malgraph_core::{build, BuildOptions, MalGraph, Relation};
-use oss_types::{ChangeOp, Ecosystem, SimDuration, SourceId};
+use oss_types::{ChangeOp, Ecosystem, PackageId, SimDuration, SourceId};
 use registry_sim::{World, WorldConfig};
+use std::borrow::Cow;
+use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How the harness provisions its graph and corpus queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnalyzeMode {
+    /// Serve repeated queries from the lazily built component and corpus
+    /// indexes (the default, and the fast path).
+    #[default]
+    Indexed,
+    /// Recompute every query from scratch — the serial reference the
+    /// equivalence suite and `analyze_bench` compare the indexed path
+    /// against, byte for byte.
+    Uncached,
+}
 
 /// A fully prepared reproduction context: world → corpus → MALGRAPH.
 pub struct Repro {
@@ -20,6 +39,8 @@ pub struct Repro {
     pub graph: MalGraph,
     /// Wall times of the preparation stages.
     pub timings: StageTimings,
+    /// Query-provisioning mode for the analysis sections.
+    pub mode: AnalyzeMode,
 }
 
 /// Wall times of the pipeline stages, printed by `repro` so performance
@@ -44,9 +65,19 @@ pub const EXPERIMENTS: [&str; 19] = [
     "table7", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table8",
 ];
 
+/// The extension sections that run alongside [`EXPERIMENTS`] in a full
+/// report, in report order.
+pub const EXTENSIONS: [&str; 4] = ["detection", "typosquat", "scaling", "validation"];
+
 impl Repro {
-    /// Builds the context at the given corpus scale.
+    /// Builds the context at the given corpus scale, in
+    /// [`AnalyzeMode::Indexed`] mode.
     pub fn new(seed: u64, scale: f64) -> Repro {
+        Repro::with_mode(seed, scale, AnalyzeMode::Indexed)
+    }
+
+    /// Builds the context with an explicit [`AnalyzeMode`].
+    pub fn with_mode(seed: u64, scale: f64, mode: AnalyzeMode) -> Repro {
         let config = WorldConfig {
             seed,
             ..WorldConfig::default()
@@ -77,16 +108,19 @@ impl Repro {
             dataset,
             graph,
             timings,
+            mode,
         }
     }
 
-    /// Runs one experiment by id and returns its report.
+    /// Runs one experiment or extension section by id and returns its
+    /// report.
     ///
     /// # Panics
     ///
-    /// Panics if `id` is not one of [`EXPERIMENTS`].
+    /// Panics if `id` is not one of [`EXPERIMENTS`] or [`EXTENSIONS`].
     pub fn run(&self, id: &str) -> String {
         let _span = obs::span!("analyze/{id}");
+        obs::counter_add("analysis.sections_run", 1);
         match id {
             "table1" => self.table1(),
             "fig2" => self.fig2(),
@@ -107,7 +141,130 @@ impl Repro {
             "fig11" => self.fig11(),
             "fig12" => self.fig12(),
             "table8" => self.table8(),
+            "detection" => self.detection(),
+            "typosquat" => self.typosquat(),
+            "scaling" => self.scaling(),
+            "validation" => self.validation(),
             other => panic!("unknown experiment id {other:?}"),
+        }
+    }
+
+    /// Runs `ids` on up to `threads` scoped worker threads and returns
+    /// the reports in id order.
+    ///
+    /// Workers claim ids through an atomic cursor and write into
+    /// per-slot cells, so assembly order never depends on scheduling;
+    /// every section is a pure function of `&self`, and the lazily built
+    /// indexes serialise concurrent first queries behind `OnceLock`, so
+    /// the output is byte-identical at any thread count (asserted by the
+    /// `analysis_equivalence` suite at 1 and 7 threads).
+    pub fn run_all(&self, ids: &[&str], threads: usize) -> Vec<String> {
+        let threads = threads.clamp(1, ids.len().max(1));
+        if threads == 1 {
+            return ids.iter().map(|id| self.run(id)).collect();
+        }
+        obs::counter_add("analysis.parallel_runs", 1);
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<String>>> = ids.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(id) = ids.get(i) else { break };
+                    let section = self.run(id);
+                    *slots[i].lock().expect("section slot poisoned") = Some(section);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("section slot poisoned")
+                    .expect("every claimed id produces a section")
+            })
+            .collect()
+    }
+
+    /// Groups of `relation`, mode-switched: the cached per-label
+    /// component index, or a fresh component computation.
+    fn groups(&self, relation: Relation) -> Cow<'_, [Vec<NodeId>]> {
+        match self.mode {
+            AnalyzeMode::Indexed => Cow::Borrowed(self.graph.groups(relation)),
+            AnalyzeMode::Uncached => {
+                Cow::Owned(self.graph.graph.components(|l| *l == relation))
+            }
+        }
+    }
+
+    /// Release-ordered similar-group sequences, mode-switched.
+    fn release_sequences(&self) -> Vec<Vec<&CollectedPackage>> {
+        match self.mode {
+            AnalyzeMode::Indexed => self
+                .graph
+                .analysis_index(&self.dataset)
+                .release_sequences(&self.graph, &self.dataset),
+            AnalyzeMode::Uncached => evolution::release_sequences_in(
+                &self.graph.graph.components(|l| *l == Relation::Similar),
+                &self.graph,
+                &self.dataset,
+            ),
+        }
+    }
+
+    /// Group active periods, mode-switched.
+    fn active_periods(&self, relation: Relation) -> Vec<SimDuration> {
+        match self.mode {
+            AnalyzeMode::Indexed => {
+                campaign::active_periods(&self.graph, &self.dataset, relation)
+            }
+            AnalyzeMode::Uncached => campaign::active_periods_in(
+                &self.graph.graph.components(|l| *l == relation),
+                &self.graph,
+                &AnalysisIndex::new(&self.dataset),
+            ),
+        }
+    }
+
+    /// Campaign timeline of the co-existing group containing `member`,
+    /// mode-switched between the CSR snapshot and the raw adjacency BFS.
+    fn campaign_timeline(&self, member: &PackageId) -> Vec<campaign::TimelineEntry> {
+        match self.mode {
+            AnalyzeMode::Indexed => {
+                campaign::campaign_timeline(&self.graph, &self.dataset, member)
+            }
+            AnalyzeMode::Uncached => {
+                campaign::campaign_timeline_reference(&self.graph, &self.dataset, member)
+            }
+        }
+    }
+
+    /// Version-lineage download series (Fig. 11), mode-switched between
+    /// the O(1)-lookup registry index and per-name registry scans.
+    fn lineage_series(&self) -> Vec<Vec<u64>> {
+        match self.mode {
+            AnalyzeMode::Indexed => evolution::lineage_download_series(
+                &self.dataset,
+                &IndexedRegistry::new(&self.world),
+            ),
+            AnalyzeMode::Uncached => {
+                evolution::lineage_download_series(&self.dataset, &self.world)
+            }
+        }
+    }
+
+    /// IDN ranking rows (Table VIII), mode-switched the same way; the
+    /// indexed path also answers corpus lookups from the analysis index
+    /// instead of a scan per consecutive-version pair.
+    fn idn_rows(&self, top: usize) -> Vec<evolution::IdnRow> {
+        match self.mode {
+            AnalyzeMode::Indexed => evolution::idn_ranking_indexed(
+                self.graph.analysis_index(&self.dataset),
+                &self.dataset,
+                &IndexedRegistry::new(&self.world),
+                top,
+            ),
+            AnalyzeMode::Uncached => evolution::idn_ranking(&self.dataset, &self.world, top),
         }
     }
 
@@ -171,7 +328,7 @@ impl Repro {
             "paper: a group mixing duplicated/similar/co-existing edges",
         );
         // Pick a medium co-existing group so the rendering stays legible.
-        let groups = self.graph.groups(Relation::Coexisting);
+        let groups = self.groups(Relation::Coexisting);
         let group = groups
             .iter()
             .filter(|g| (4..=12).contains(&g.len()))
@@ -196,7 +353,11 @@ impl Repro {
             "{:<5} {:>8} {:>12} {:>14} {:>13}",
             "", "Node", "Edge", "Ave.OutDeg", "Ave.InDeg"
         );
-        for row in diversity::table2(&self.graph) {
+        let rows = match self.mode {
+            AnalyzeMode::Indexed => diversity::table2(&self.graph),
+            AnalyzeMode::Uncached => diversity::table2_reference(&self.graph),
+        };
+        for row in rows {
             let _ = writeln!(
                 out,
                 "{:<5} {:>8} {:>12} {:>14.2} {:>13.2}",
@@ -392,7 +553,11 @@ impl Repro {
             "{:<9} {:>16} {:>16} {:>16}",
             "OSS", "SG #(Ave.)", "DeG #(Ave.)", "CG #(Ave.)"
         );
-        for row in diversity::table7(&self.graph) {
+        let rows = match self.mode {
+            AnalyzeMode::Indexed => diversity::table7(&self.graph),
+            AnalyzeMode::Uncached => diversity::table7_reference(&self.graph),
+        };
+        for row in rows {
             let cell = |c: &diversity::DiversityCell| format!("{} ({:.2})", c.groups, c.avg_size);
             let _ = writeln!(
                 out,
@@ -427,7 +592,7 @@ impl Repro {
         // One concrete cycle, reconstructed from the corpus: a similar
         // group's first two attempts show {release → removal → changing →
         // re-release}.
-        let sequences = evolution::release_sequences(&self.graph, &self.dataset);
+        let sequences = self.release_sequences();
         if let Some(seq) = sequences.iter().find(|s| {
             s.len() >= 2 && s[0].meta.is_some_and(|m| m.removed.is_some())
         }) {
@@ -464,7 +629,7 @@ example cycle:");
             "Fig. 7 — the attack based on the dependency library",
             "paper: the front package looks benign; installing it pulls the malicious dependency",
         );
-        let groups = self.graph.groups(Relation::Dependency);
+        let groups = self.groups(Relation::Dependency);
         let Some(group) = groups.first() else {
             out.push_str("(no dependency group in this corpus)\n");
             return out;
@@ -499,8 +664,8 @@ example cycle:");
             "paper: 1 package on Aug 9; 6 similar by Aug 12; most recently cloud-layout, \
              urs-remote, etc-crypto, mh-web-hardware, mall-front-babel-directive (15 total)",
         );
-        let member: oss_types::PackageId = "npm/etc-crypto@1.0.0".parse().expect("valid id");
-        let timeline = campaign::campaign_timeline(&self.graph, &self.dataset, &member);
+        let member: PackageId = "npm/etc-crypto@1.0.0".parse().expect("valid id");
+        let timeline = self.campaign_timeline(&member);
         if timeline.is_empty() {
             out.push_str("(showcase campaign not present at this scale)\n");
             return out;
@@ -520,7 +685,7 @@ example cycle:");
             "paper: 80% SG within days · 80% CG within a year · DeG longest (≈3 years)",
         );
         for relation in [Relation::Similar, Relation::Coexisting, Relation::Dependency] {
-            let periods = campaign::active_periods(&self.graph, &self.dataset, relation);
+            let periods = self.active_periods(relation);
             if periods.is_empty() {
                 let _ = writeln!(out, "{:<4} (no groups)", relation.group_label());
                 continue;
@@ -546,7 +711,7 @@ example cycle:");
             "Fig. 10 — an attack campaign in the timeline (release attempts, ops, downloads)",
             "paper: each attempt applies a changing operation and accrues downloads until removal",
         );
-        let sequences = evolution::release_sequences(&self.graph, &self.dataset);
+        let sequences = self.release_sequences();
         let Some(seq) = sequences
             .iter()
             .filter(|s| (5..=25).contains(&s.len()))
@@ -586,14 +751,14 @@ example cycle:");
             "Fig. 11 — the box plot of download evolution",
             "paper: most attempts 0–1 downloads; a minority 10–40; outliers in the millions",
         );
-        let sequences = evolution::release_sequences(&self.graph, &self.dataset);
+        let sequences = self.release_sequences();
         // SG series plus version lineages — the lineages contribute the
         // popular-package outliers the paper calls out.
         let mut series: Vec<Vec<u64>> = sequences
             .iter()
             .map(|seq| seq.iter().filter_map(|p| p.meta.map(|m| m.downloads)).collect())
             .collect();
-        series.extend(evolution::lineage_download_series(&self.dataset, &self.world));
+        series.extend(self.lineage_series());
         let boxes = evolution::download_evolution_from_series(&series, 10);
         let _ = writeln!(
             out,
@@ -616,7 +781,7 @@ example cycle:");
             "Fig. 12 — the operation distribution",
             "paper: CN 98.92% · CC 39.76% · CV and CDep rare · CC changes ≈3.7 lines",
         );
-        let sequences = evolution::release_sequences(&self.graph, &self.dataset);
+        let sequences = self.release_sequences();
         let dist = evolution::op_distribution(&sequences);
         let _ = writeln!(out, "re-release attempts analysed: {}", dist.attempts);
         for op in ChangeOp::ALL {
@@ -632,7 +797,7 @@ example cycle:");
             "Table VIII — top-10 increasing download number with the operation",
             "paper: top IDN 66,092,932 with (CDep, CD, CN, CC); multi-op trojan lineages dominate",
         );
-        let rows = evolution::idn_ranking(&self.dataset, &self.world, 10);
+        let rows = self.idn_rows(10);
         let _ = writeln!(out, "{:>12}  {:<24} package", "IDN", "Operation");
         for row in rows {
             let _ = writeln!(
@@ -655,20 +820,26 @@ example cycle:");
             "Extension — static & sandbox detector evaluation (paper finding 2, quantified)",
             "paper: known behaviours ⇒ existing tools detect them easily; no numbers given",
         );
-        let report = detector::evaluate_world(&self.world);
-        let _ = writeln!(out, "{report}");
-        // Behaviour census of the *collected* corpus: what an analyst
-        // running the sandbox over every recovered archive would see.
-        let sandbox = detector::DynamicDetector::default();
-        let mut census: std::collections::BTreeMap<String, usize> = Default::default();
-        for pkg in &self.dataset.packages {
-            if let Some(archive) = &pkg.archive {
-                let verdict = sandbox.analyze_source(&archive.code);
-                for label in verdict.labels {
-                    *census.entry(label.to_string()).or_default() += 1;
-                }
+        // The sandbox verdict depends only on the source text, and
+        // campaign re-releases duplicate code heavily — one shared cache
+        // covers the world evaluation and the archive census (the
+        // archives' code strings all appear among the world sources).
+        let (report, census) = match self.mode {
+            AnalyzeMode::Indexed => {
+                let mut cache = detector::SandboxCache::default();
+                let report = detector::evaluate_world_cached(&self.world, &mut cache);
+                let census =
+                    self.behaviour_census(|code| cache.run(code).verdict.labels.clone());
+                (report, census)
             }
-        }
+            AnalyzeMode::Uncached => {
+                let report = detector::evaluate_world(&self.world);
+                let sandbox = detector::DynamicDetector::default();
+                let census = self.behaviour_census(|code| sandbox.analyze_source(code).labels);
+                (report, census)
+            }
+        };
+        let _ = writeln!(out, "{report}");
         let _ = writeln!(out, "
 behaviour census over recovered archives:");
         for (label, count) in census {
@@ -677,14 +848,37 @@ behaviour census over recovered archives:");
         out
     }
 
+    /// Behaviour census of the *collected* corpus: what an analyst
+    /// running the sandbox over every recovered archive would see.
+    fn behaviour_census(
+        &self,
+        mut verdict: impl FnMut(&str) -> Vec<detector::BehaviorLabel>,
+    ) -> std::collections::BTreeMap<String, usize> {
+        let mut census: std::collections::BTreeMap<String, usize> = Default::default();
+        for pkg in &self.dataset.packages {
+            if let Some(archive) = &pkg.archive {
+                for label in verdict(&archive.code) {
+                    *census.entry(label.to_string()).or_default() += 1;
+                }
+            }
+        }
+        census
+    }
+
     /// Extension experiment — typosquat targeting census.
     pub fn typosquat(&self) -> String {
         let mut out = header(
             "Extension — typosquat targeting (§V: 'the most popular attack vector')",
             "which legitimate packages the corpus impersonates, by edit distance ≤ 2",
         );
-        let census =
-            malgraph_core::analysis::typosquat::typosquat_census(&self.dataset, None);
+        let census = match self.mode {
+            AnalyzeMode::Indexed => typosquat::typosquat_census_indexed(
+                self.graph.analysis_index(&self.dataset),
+                &self.dataset,
+                None,
+            ),
+            AnalyzeMode::Uncached => typosquat::typosquat_census(&self.dataset, None),
+        };
         let _ = writeln!(
             out,
             "{} of {} corpus packages squat a popular name ({:.1}%)",
@@ -712,12 +906,47 @@ behaviour census over recovered archives:");
             "{:>6} {:>10} {:>10} {:>10} {:>10}",
             "scale", "DG edges", "DeG edges", "SG edges", "CG edges"
         );
-        for scale in [0.02f64, 0.05, 0.10] {
-            let repro = Repro::new(7, scale);
-            let row: Vec<usize> = Relation::ALL
+        const SCALES: [f64; 3] = [0.02, 0.05, 0.10];
+        let edge_row = |repro: &Repro| -> Vec<usize> {
+            Relation::ALL
                 .iter()
-                .map(|&r| repro.graph.relation_stats(r).edges)
-                .collect();
+                .map(|&r| match repro.mode {
+                    AnalyzeMode::Indexed => repro.graph.relation_stats(r).edges,
+                    AnalyzeMode::Uncached => {
+                        graphstore::stats::RelationStats::compute(&repro.graph.graph, |l| {
+                            *l == r
+                        })
+                        .edges
+                    }
+                })
+                .collect()
+        };
+        let rows: Vec<Vec<usize>> = match self.mode {
+            // The three sub-worlds are independent of each other and of
+            // `self` — build them concurrently and assemble in scale
+            // order, so the report bytes never depend on which finishes
+            // first.
+            AnalyzeMode::Indexed => std::thread::scope(|scope| {
+                let handles: Vec<_> = SCALES
+                    .iter()
+                    .map(|&scale| {
+                        scope.spawn(move || {
+                            let repro = Repro::with_mode(7, scale, AnalyzeMode::Indexed);
+                            edge_row(&repro)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("scaling sub-world worker panicked"))
+                    .collect()
+            }),
+            AnalyzeMode::Uncached => SCALES
+                .iter()
+                .map(|&scale| edge_row(&Repro::with_mode(7, scale, AnalyzeMode::Uncached)))
+                .collect(),
+        };
+        for (scale, row) in SCALES.iter().zip(rows) {
             let _ = writeln!(
                 out,
                 "{:>6} {:>10} {:>10} {:>10} {:>10}",
@@ -738,16 +967,32 @@ behaviour census over recovered archives:");
         // over packages that appear in some SG.
         let mut labels_true: Vec<usize> = Vec::new();
         let mut labels_sg: Vec<usize> = Vec::new();
-        for (gi, group) in self.graph.groups(Relation::Similar).iter().enumerate() {
+        // One id → campaign map replaces a linear `find` over the world
+        // per SG member (first occurrence wins, matching `find`).
+        let campaign_of: Option<HashMap<&PackageId, usize>> = match self.mode {
+            AnalyzeMode::Indexed => {
+                let mut map = HashMap::with_capacity(self.world.packages.len());
+                for p in &self.world.packages {
+                    map.entry(&p.id)
+                        .or_insert_with(|| p.campaign.map(|c| c.index() + 1).unwrap_or(0));
+                }
+                Some(map)
+            }
+            AnalyzeMode::Uncached => None,
+        };
+        for (gi, group) in self.groups(Relation::Similar).iter().enumerate() {
             for &node in group {
                 let pkg_id = &self.graph.graph.node(node).package;
-                let truth = self
-                    .world
-                    .packages
-                    .iter()
-                    .find(|p| &p.id == pkg_id)
-                    .and_then(|p| p.campaign.map(|c| c.index() + 1))
-                    .unwrap_or(0);
+                let truth = match &campaign_of {
+                    Some(map) => map.get(pkg_id).copied().unwrap_or(0),
+                    None => self
+                        .world
+                        .packages
+                        .iter()
+                        .find(|p| &p.id == pkg_id)
+                        .and_then(|p| p.campaign.map(|c| c.index() + 1))
+                        .unwrap_or(0),
+                };
                 labels_true.push(truth);
                 labels_sg.push(gi + 1);
             }
@@ -855,8 +1100,8 @@ impl Repro {
         push("SG is the densest relation graph (Table II shape)", densest, String::new());
 
         // RQ3 — active periods.
-        let sg = campaign::active_periods(&self.graph, &self.dataset, Relation::Similar);
-        let deg = campaign::active_periods(&self.graph, &self.dataset, Relation::Dependency);
+        let sg = self.active_periods(Relation::Similar);
+        let deg = self.active_periods(Relation::Dependency);
         let mean =
             |v: &[SimDuration]| v.iter().map(|d| d.as_days_f64()).sum::<f64>() / v.len().max(1) as f64;
         push(
@@ -864,8 +1109,8 @@ impl Repro {
             !deg.is_empty() && mean(&deg) > mean(&sg) * 3.0,
             format!("DeG {:.0}d vs SG {:.0}d", mean(&deg), mean(&sg)),
         );
-        let member: oss_types::PackageId = "npm/etc-crypto@1.0.0".parse().expect("valid");
-        let timeline = campaign::campaign_timeline(&self.graph, &self.dataset, &member);
+        let member: PackageId = "npm/etc-crypto@1.0.0".parse().expect("valid");
+        let timeline = self.campaign_timeline(&member);
         push(
             "the Fig.-8 showcase campaign reconstructs with 15 packages",
             timeline.len() == 15,
@@ -873,7 +1118,7 @@ impl Repro {
         );
 
         // RQ4 — operations and downloads.
-        let sequences = evolution::release_sequences(&self.graph, &self.dataset);
+        let sequences = self.release_sequences();
         let dist = evolution::op_distribution(&sequences);
         push(
             "CN dominates re-releases (Fig. 12 ≈98.9%)",
@@ -895,7 +1140,7 @@ impl Repro {
             dist.mean_cc_lines > 0.5 && dist.mean_cc_lines < 12.0,
             format!("mean {:.1} lines", dist.mean_cc_lines),
         );
-        let idn = evolution::idn_ranking(&self.dataset, &self.world, 10);
+        let idn = self.idn_rows(10);
         push(
             "top IDN is a large trojan lineage (Table VIII)",
             idn.first().is_some_and(|r| r.idn > 1_000_000),
@@ -944,6 +1189,28 @@ mod tests {
         let r = repro();
         assert!(r.detection().contains("precision"));
         assert!(r.typosquat().contains("squat"));
+    }
+
+    #[test]
+    fn run_all_parallel_matches_serial() {
+        // A handful of cheap sections is enough to exercise the claim
+        // loop, slot assembly and concurrent first-touch of the caches.
+        let ids = ["table2", "fig3", "fig9", "table7", "validation"];
+        let r = repro();
+        let serial = r.run_all(&ids, 1);
+        let parallel = r.run_all(&ids, ids.len());
+        assert_eq!(serial, parallel);
+        // Oversubscribing beyond the id count must clamp, not panic.
+        assert_eq!(r.run_all(&ids, 64), serial);
+    }
+
+    #[test]
+    fn uncached_mode_matches_indexed_sections() {
+        let indexed = repro();
+        let uncached = Repro::with_mode(5, 0.05, AnalyzeMode::Uncached);
+        for id in ["fig3", "fig9", "table2", "validation", "typosquat"] {
+            assert_eq!(indexed.run(id), uncached.run(id), "{id} diverged");
+        }
     }
 
     #[test]

@@ -10,4 +10,4 @@
 
 pub mod harness;
 
-pub use harness::{Repro, StageTimings, EXPERIMENTS};
+pub use harness::{AnalyzeMode, Repro, StageTimings, EXPERIMENTS, EXTENSIONS};

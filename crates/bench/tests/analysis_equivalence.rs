@@ -1,0 +1,55 @@
+//! Byte-identity gate for the indexed analysis path (ISSUE 7).
+//!
+//! The serial [`AnalyzeMode::Uncached`] harness — which recomputes every
+//! component grouping, release sequence and sandbox verdict from scratch
+//! on each query — is the reference. The indexed mode, serial and fanned
+//! out over 7 worker threads, must reproduce every section of every
+//! experiment and extension **byte for byte**. Any divergence means an
+//! index is stale, a cache leaked state between sections, or the
+//! parallel assembly reordered output.
+
+use malgraph_bench::{AnalyzeMode, Repro, EXPERIMENTS, EXTENSIONS};
+
+/// Small but structurally complete world: all relations are populated
+/// and every section renders non-trivial rows at this scale.
+const SEED: u64 = 5;
+const SCALE: f64 = 0.05;
+
+fn all_ids() -> Vec<&'static str> {
+    EXPERIMENTS.iter().chain(EXTENSIONS.iter()).copied().collect()
+}
+
+fn assert_sections_equal(reference: &[String], candidate: &[String], ids: &[&str], label: &str) {
+    assert_eq!(reference.len(), candidate.len());
+    for ((id, expected), got) in ids.iter().zip(reference).zip(candidate) {
+        assert_eq!(
+            got, expected,
+            "{label}: section `{id}` diverged from the uncached serial reference"
+        );
+    }
+}
+
+#[test]
+fn indexed_analysis_is_byte_identical_to_serial_reference() {
+    let ids = all_ids();
+
+    // Reference pass: uncached, serial, fresh context.
+    let reference = Repro::with_mode(SEED, SCALE, AnalyzeMode::Uncached).run_all(&ids, 1);
+
+    // Indexed serial, on a fresh context so every cache is built lazily
+    // by the queries themselves.
+    let indexed = Repro::with_mode(SEED, SCALE, AnalyzeMode::Indexed);
+    let serial = indexed.run_all(&ids, 1);
+    assert_sections_equal(&reference, &serial, &ids, "indexed/1-thread");
+
+    // Indexed at 7 threads on another fresh context: first touches of the
+    // shared OnceLock-backed indexes now race, and sections are assembled
+    // from per-slot results rather than in execution order.
+    let parallel = Repro::with_mode(SEED, SCALE, AnalyzeMode::Indexed).run_all(&ids, 7);
+    assert_sections_equal(&reference, &parallel, &ids, "indexed/7-thread");
+
+    // Re-running on the warm indexed context must also be stable: caches
+    // are immutable after first build, so hits equal the first answer.
+    let warm = indexed.run_all(&ids, 7);
+    assert_sections_equal(&reference, &warm, &ids, "indexed/warm-rerun");
+}

@@ -49,6 +49,6 @@ pub use dataset::{
     collect, collect_with, CollectOptions, CollectedDataset, CollectedPackage, CollectedReport,
 };
 pub use export::{export_json, import_json, ExportFidelity};
-pub use registry::{RegistryMeta, RegistryView};
+pub use registry::{IndexedRegistry, RegistryMeta, RegistryView};
 pub use sources::{Archive, RawMention};
 pub use transport::{CollectionHealth, FetchHealth, FetchOutcome, Transport};

@@ -41,6 +41,110 @@ pub trait RegistryView {
     fn live_archive(&self, id: &PackageId) -> Option<Archive>;
 }
 
+/// An O(1)-lookup [`RegistryView`] over a [`World`] snapshot.
+///
+/// `World`'s own trait implementation answers every query with a linear
+/// scan over all packages — fine for one-off lookups, quadratic when the
+/// evolution analyses (Fig. 11, Table VIII) query the history of every
+/// collected name. This wrapper builds the three lookup tables once and
+/// answers the same queries with identical results:
+///
+/// * version histories keyed by `(ecosystem, name)`, each sorted by
+///   version with ties kept in registry order (the order the scan-based
+///   implementation produces);
+/// * first registry entry per identity, for [`RegistryView::metadata`]
+///   (`iter().find()` semantics are first-wins on duplicate ids);
+/// * first *live* entry per identity, for [`RegistryView::live_archive`].
+#[derive(Debug)]
+pub struct IndexedRegistry<'a> {
+    world: &'a World,
+    history: std::collections::HashMap<(Ecosystem, &'a str), Vec<u32>>,
+    by_id: std::collections::HashMap<&'a PackageId, u32>,
+    live_by_id: std::collections::HashMap<&'a PackageId, u32>,
+}
+
+impl<'a> IndexedRegistry<'a> {
+    /// Builds the lookup tables in one pass over the world's packages
+    /// (plus one sort per distinct name).
+    pub fn new(world: &'a World) -> IndexedRegistry<'a> {
+        let mut history: std::collections::HashMap<(Ecosystem, &'a str), Vec<u32>> =
+            std::collections::HashMap::new();
+        let mut by_id = std::collections::HashMap::new();
+        let mut live_by_id = std::collections::HashMap::new();
+        for (i, p) in world.packages.iter().enumerate() {
+            let i = i as u32;
+            history
+                .entry((p.id.ecosystem(), p.id.name().as_str()))
+                .or_default()
+                .push(i);
+            by_id.entry(&p.id).or_insert(i);
+            if p.removed.is_none() {
+                live_by_id.entry(&p.id).or_insert(i);
+            }
+        }
+        for indices in history.values_mut() {
+            // Stable sort: equal versions keep registry order, exactly
+            // like the scan-and-sort in `World::version_history`.
+            indices.sort_by(|a, b| {
+                world.packages[*a as usize]
+                    .id
+                    .version()
+                    .cmp(world.packages[*b as usize].id.version())
+            });
+        }
+        IndexedRegistry {
+            world,
+            history,
+            by_id,
+            live_by_id,
+        }
+    }
+
+    fn meta_of(&self, idx: u32) -> RegistryMeta {
+        let p = &self.world.packages[idx as usize];
+        RegistryMeta {
+            released: p.released,
+            removed: p.removed,
+            downloads: p.downloads,
+        }
+    }
+}
+
+impl RegistryView for IndexedRegistry<'_> {
+    fn metadata(&self, id: &PackageId) -> Option<RegistryMeta> {
+        self.by_id.get(id).map(|&i| self.meta_of(i))
+    }
+
+    fn version_history(
+        &self,
+        eco: Ecosystem,
+        name: &PackageName,
+    ) -> Vec<(PackageId, RegistryMeta)> {
+        self.history
+            .get(&(eco, name.as_str()))
+            .map(|indices| {
+                indices
+                    .iter()
+                    .map(|&i| {
+                        (self.world.packages[i as usize].id.clone(), self.meta_of(i))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    fn live_archive(&self, id: &PackageId) -> Option<Archive> {
+        self.live_by_id.get(id).map(|&i| {
+            let p = &self.world.packages[i as usize];
+            Archive {
+                description: p.description.clone(),
+                dependencies: p.dependencies.clone(),
+                code: p.source_text.clone(),
+            }
+        })
+    }
+}
+
 impl RegistryView for World {
     fn metadata(&self, id: &PackageId) -> Option<RegistryMeta> {
         self.packages.iter().find(|p| &p.id == id).map(|p| RegistryMeta {
@@ -113,6 +217,34 @@ mod tests {
             .find(|p| p.removed.is_some())
             .expect("removed packages exist");
         assert_eq!(world.live_archive(&removed.id), None);
+    }
+
+    #[test]
+    fn indexed_registry_matches_scan_implementation() {
+        let world = World::generate(WorldConfig::small(24));
+        let indexed = IndexedRegistry::new(&world);
+        let mut names_seen = std::collections::HashSet::new();
+        for p in &world.packages {
+            assert_eq!(indexed.metadata(&p.id), world.metadata(&p.id), "{}", p.id);
+            assert_eq!(
+                indexed.live_archive(&p.id),
+                world.live_archive(&p.id),
+                "{}",
+                p.id
+            );
+            if names_seen.insert((p.id.ecosystem(), p.id.name().clone())) {
+                assert_eq!(
+                    RegistryView::version_history(&indexed, p.id.ecosystem(), p.id.name()),
+                    RegistryView::version_history(&world, p.id.ecosystem(), p.id.name()),
+                    "history of {}",
+                    p.id
+                );
+            }
+        }
+        let ghost: PackageId = "npm/ghost@9.9.9".parse().unwrap();
+        assert_eq!(indexed.metadata(&ghost), None);
+        assert_eq!(indexed.live_archive(&ghost), None);
+        assert!(RegistryView::version_history(&indexed, Ecosystem::Npm, ghost.name()).is_empty());
     }
 
     #[test]

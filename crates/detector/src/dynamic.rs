@@ -117,23 +117,35 @@ impl Default for DynamicDetector {
 /// Matches behaviour signatures against an effect trace.
 pub fn label_trace(trace: &Trace) -> Vec<BehaviorLabel> {
     let mut labels = Vec::new();
-    let touched = |p: &str| trace.touched(p);
-    let sends = touched("requests.post");
-    let fetches = touched("requests.get");
-    let sensitive_read = touched("os.environ")
-        || touched("os.getenv")
-        || touched("glob.glob")
-        || touched("os.read_file");
-    let spawns = touched("subprocess.");
-    let socketed = touched("socket.socket");
-    let dns = touched("socket.gethostbyname");
-    let clip_read = touched("clipboard.paste");
-    let clip_write = touched("clipboard.copy");
-    let evals = touched("eval");
-    let miner_hint = trace
-        .effects
-        .iter()
-        .any(|e| e.args.iter().any(|a| a.contains("stratum://")));
+    // One pass over the trace collects every signature flag at once;
+    // a per-flag `touched()` scan would walk the effect list eleven
+    // times for each sandboxed package.
+    let mut sends = false;
+    let mut fetches = false;
+    let mut sensitive_read = false;
+    let mut spawns = false;
+    let mut socketed = false;
+    let mut dns = false;
+    let mut clip_read = false;
+    let mut clip_write = false;
+    let mut evals = false;
+    let mut miner_hint = false;
+    for e in &trace.effects {
+        let api: &str = &e.api;
+        sends |= api.starts_with("requests.post");
+        fetches |= api.starts_with("requests.get");
+        sensitive_read |= api.starts_with("os.environ")
+            || api.starts_with("os.getenv")
+            || api.starts_with("glob.glob")
+            || api.starts_with("os.read_file");
+        spawns |= api.starts_with("subprocess.");
+        socketed |= api.starts_with("socket.socket");
+        dns |= api.starts_with("socket.gethostbyname");
+        clip_read |= api.starts_with("clipboard.paste");
+        clip_write |= api.starts_with("clipboard.copy");
+        evals |= api.starts_with("eval");
+        miner_hint |= e.args.iter().any(|a| a.contains("stratum://"));
+    }
 
     if sensitive_read && sends {
         labels.push(BehaviorLabel::Exfiltration);

@@ -7,6 +7,7 @@
 //! so this harness measures exactly that: per-family recall and overall
 //! precision/recall for the static and dynamic detectors.
 
+use crate::cache::SandboxCache;
 use crate::dynamic::{expected_label, DynamicDetector};
 use crate::static_detector::StaticDetector;
 use minilang::gen::Behavior;
@@ -59,7 +60,7 @@ impl PrScores {
 }
 
 /// Full evaluation report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DetectionReport {
     /// Static-scanner scores.
     pub static_scores: PrScores,
@@ -175,6 +176,77 @@ pub fn evaluate_world(world: &World) -> DetectionReport {
     }
 }
 
+/// [`evaluate_world`] through a [`SandboxCache`]: parses, sandboxes and
+/// gathers module-only rule hits for each *distinct* source text once.
+/// Per package, only the name-dependent typosquat rule and the threshold
+/// decision re-run ([`rules::matched_rules`] guarantees the name rule
+/// sorts last, so the recomposed rule list is identical to a fresh
+/// scan's). Produces a report equal to [`evaluate_world`]'s and shares
+/// the cache with any caller that also sandboxes the collected archives.
+pub fn evaluate_world_cached(world: &World, cache: &mut SandboxCache) -> DetectionReport {
+    let static_detector = StaticDetector::default();
+
+    let mut static_scores = PrScores {
+        tp: 0,
+        fp: 0,
+        fn_: 0,
+        tn: 0,
+    };
+    let mut dynamic_scores = static_scores.clone();
+    let mut static_recall: HashMap<Behavior, (usize, usize)> = HashMap::new();
+    let mut label_accuracy: HashMap<Behavior, (usize, usize)> = HashMap::new();
+    let mut skipped = 0usize;
+
+    for pkg in &world.packages {
+        let run = cache.run(&pkg.source_text);
+        if run.module.is_none() {
+            skipped += 1;
+            continue;
+        }
+        let truth_malicious = pkg.behavior.is_some();
+
+        let mut hits = run.module_hits.clone();
+        if crate::rules::name_is_squat(pkg.id.name()) {
+            hits.push(crate::rules::RuleId::TyposquatName);
+        }
+        let sv = static_detector.decide(hits);
+        match (truth_malicious, sv.malicious) {
+            (true, true) => static_scores.tp += 1,
+            (true, false) => static_scores.fn_ += 1,
+            (false, true) => static_scores.fp += 1,
+            (false, false) => static_scores.tn += 1,
+        }
+        let dv = &run.verdict;
+        match (truth_malicious, dv.malicious()) {
+            (true, true) => dynamic_scores.tp += 1,
+            (true, false) => dynamic_scores.fn_ += 1,
+            (false, true) => dynamic_scores.fp += 1,
+            (false, false) => dynamic_scores.tn += 1,
+        }
+
+        if let Some(behavior) = pkg.behavior {
+            let entry = static_recall.entry(behavior).or_default();
+            entry.1 += 1;
+            if sv.malicious {
+                entry.0 += 1;
+            }
+            let lentry = label_accuracy.entry(behavior).or_default();
+            lentry.1 += 1;
+            if dv.labels.contains(&expected_label(behavior)) {
+                lentry.0 += 1;
+            }
+        }
+    }
+
+    DetectionReport {
+        static_scores,
+        dynamic_scores,
+        static_recall_by_behavior: static_recall,
+        dynamic_label_accuracy: label_accuracy,
+        skipped_unavailable: skipped,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +303,21 @@ mod tests {
         let report = evaluate_world(&world);
         let negatives = report.static_scores.tn + report.static_scores.fp;
         assert!(negatives > 5, "only {negatives} benign packages evaluated");
+    }
+
+    #[test]
+    fn cached_evaluation_matches_reference() {
+        let world = World::generate(WorldConfig::small(77));
+        let reference = evaluate_world(&world);
+        let mut cache = SandboxCache::default();
+        let cached = evaluate_world_cached(&world, &mut cache);
+        assert_eq!(cached, reference);
+        assert!(
+            cache.len() <= world.packages.len(),
+            "cache holds at most one entry per distinct source"
+        );
+        // Running again over a warm cache is still identical.
+        assert_eq!(evaluate_world_cached(&world, &mut cache), reference);
     }
 
     #[test]

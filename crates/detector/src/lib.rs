@@ -14,7 +14,10 @@
 //!   shells…), which also *labels* the behaviour family;
 //! * [`eval`] — precision/recall against the simulator's ground truth,
 //!   per behaviour family — the quantified version of the paper's
-//!   insight.
+//!   insight;
+//! * [`cache`] — parse + sandbox memoisation by source text, so the
+//!   evaluation harness analyses each distinct program once however
+//!   many releases carry it.
 //!
 //! # Examples
 //!
@@ -33,12 +36,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod dynamic;
 pub mod eval;
 pub mod rules;
 pub mod static_detector;
 
+pub use cache::SandboxCache;
 pub use dynamic::{BehaviorLabel, DynamicDetector};
-pub use eval::{evaluate_world, DetectionReport};
+pub use eval::{evaluate_world, evaluate_world_cached, DetectionReport};
 pub use rules::RuleId;
 pub use static_detector::{StaticDetector, Verdict};

@@ -99,6 +99,21 @@ impl fmt::Display for RuleId {
 /// Evaluates every rule against a module (and optionally the package
 /// name, for the typosquat rule). Returns the matched rules.
 pub fn matched_rules(module: &Module, package_name: Option<&PackageName>) -> Vec<RuleId> {
+    let mut hits = module_rule_hits(module);
+    if let Some(name) = package_name {
+        if name_is_squat(name) {
+            hits.push(RuleId::TyposquatName);
+        }
+    }
+    hits
+}
+
+/// The module-dependent rules alone — everything except
+/// [`RuleId::TyposquatName`], which is the only rule that reads the
+/// package name and is always appended last. Cacheable per source text:
+/// `matched_rules(m, Some(n))` ≡ `module_rule_hits(m)` plus the name
+/// rule.
+pub fn module_rule_hits(module: &Module) -> Vec<RuleId> {
     let facts = Facts::gather(module);
     let mut hits = Vec::new();
     if facts.imports.iter().any(|m| m == "requests" || m == "socket") {
@@ -148,22 +163,23 @@ pub fn matched_rules(module: &Module, package_name: Option<&PackageName>) -> Vec
     }) {
         hits.push(RuleId::SuspiciousUrl);
     }
-    if let Some(name) = package_name {
-        let squat = registry_popular_targets()
-            .iter()
-            .any(|t| {
-                let target = PackageName::new(t).expect("popular targets are valid");
-                name.is_typosquat_of(&target)
-            });
-        if squat {
-            hits.push(RuleId::TyposquatName);
-        }
-    }
     hits
 }
 
-fn registry_popular_targets() -> &'static [&'static str] {
-    &registry_sim::names::POPULAR_TARGETS
+/// Whether `name` is within typosquat distance of a popular registry
+/// package — the [`RuleId::TyposquatName`] predicate. The popular-target
+/// list is parsed once and reused across every scan.
+pub fn name_is_squat(name: &PackageName) -> bool {
+    static TARGETS: std::sync::OnceLock<Vec<PackageName>> = std::sync::OnceLock::new();
+    TARGETS
+        .get_or_init(|| {
+            registry_sim::names::POPULAR_TARGETS
+                .iter()
+                .map(|t| PackageName::new(t).expect("popular targets are valid"))
+                .collect()
+        })
+        .iter()
+        .any(|target| name.is_typosquat_of(target))
 }
 
 /// Syntactic facts extracted in one AST walk.

@@ -36,7 +36,14 @@ impl StaticDetector {
     /// Scans a module (plus the package name, when known, for the
     /// typosquat rule).
     pub fn scan(&self, module: &Module, package_name: Option<&PackageName>) -> Verdict {
-        let matched = matched_rules(module, package_name);
+        self.decide(matched_rules(module, package_name))
+    }
+
+    /// Scores an already-matched rule set against the threshold — the
+    /// decision half of [`StaticDetector::scan`], split out so callers
+    /// that cache [`crate::rules::module_rule_hits`] per source text can
+    /// still produce (and count) one verdict per package.
+    pub fn decide(&self, matched: Vec<RuleId>) -> Verdict {
         let score: f64 = matched.iter().map(|r| r.weight()).sum();
         let malicious = score >= self.threshold;
         obs::counter_add("detector.static_scans", 1);

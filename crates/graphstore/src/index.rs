@@ -1,0 +1,365 @@
+//! Cached per-label query structures: components + CSR adjacency.
+//!
+//! [`PropertyGraph::components`] re-walks every `Vec<(NodeId, L)>`
+//! adjacency list and re-runs the union-find on each call. The analysis
+//! layer asks the same label-restricted questions over and over (every
+//! paper table/figure is a census over one relation's components), so
+//! this module computes the answer once and snapshots it:
+//!
+//! * [`ComponentIndex`] — the connected components, in exactly the order
+//!   [`PropertyGraph::components`] returns them (the index replays the
+//!   same union sequence and the same root-keyed collection, so cached
+//!   and fresh results are byte-identical), plus a node → component map
+//!   for O(1) membership queries and the Table-II node/edge counts.
+//!   [`ComponentIndex::build_many`] amortises one adjacency traversal
+//!   over every label of interest — on a graph whose similarity relation
+//!   alone carries tens of millions of directed edges, re-walking the
+//!   full edge list once per label is the dominant cost.
+//! * [`AdjacencyIndex`] — a CSR (compressed sparse row) snapshot of one
+//!   label's out-adjacency, for traversal queries. Kept separate from
+//!   [`ComponentIndex`] deliberately: materialising the CSR for a
+//!   multi-million-edge label costs hundreds of megabytes, while the
+//!   traversal queries only ever run over sparse labels.
+//!
+//! Both indexes are snapshots: they do **not** observe later mutations
+//! of the graph. Build them after construction is complete (the MALGRAPH
+//! builder finishes all five edge stages before any analysis runs).
+
+use crate::stats::RelationStats;
+use crate::{unionfind, NodeId, PropertyGraph};
+
+/// Marker for "not in any component of this label".
+const NO_GROUP: u32 = u32::MAX;
+
+/// Immutable per-label component index.
+#[derive(Debug, Clone)]
+pub struct ComponentIndex {
+    components: Vec<Vec<NodeId>>,
+    /// Node index → component index, [`NO_GROUP`] when the node has no
+    /// edge of the label.
+    group_of: Vec<u32>,
+    /// Nodes incident to at least one edge of the label.
+    nodes: usize,
+    /// Directed edges of the label.
+    edges: usize,
+}
+
+/// The per-label accumulator state of [`ComponentIndex::build_many`].
+struct Builder {
+    uf: unionfind::UnionFind,
+    touched: Vec<bool>,
+    edges: usize,
+}
+
+impl Builder {
+    fn new(n: usize) -> Builder {
+        Builder {
+            uf: unionfind::UnionFind::new(n),
+            touched: vec![false; n],
+            edges: 0,
+        }
+    }
+
+    fn union(&mut self, from: usize, to: usize) {
+        self.uf.union(from, to);
+        self.touched[from] = true;
+        self.touched[to] = true;
+        self.edges += 1;
+    }
+
+    fn finish(mut self) -> ComponentIndex {
+        let mut by_root: std::collections::BTreeMap<usize, Vec<NodeId>> =
+            std::collections::BTreeMap::new();
+        for (i, &is_touched) in self.touched.iter().enumerate() {
+            if is_touched {
+                by_root
+                    .entry(self.uf.find(i))
+                    .or_default()
+                    .push(NodeId::from_index(i));
+            }
+        }
+        let components: Vec<Vec<NodeId>> = by_root.into_values().collect();
+        let mut group_of = vec![NO_GROUP; self.touched.len()];
+        let mut nodes = 0usize;
+        for (g, comp) in components.iter().enumerate() {
+            nodes += comp.len();
+            for &member in comp {
+                group_of[member.index()] = u32::try_from(g).expect("graph too large");
+            }
+        }
+        ComponentIndex {
+            components,
+            group_of,
+            nodes,
+            edges: self.edges,
+        }
+    }
+}
+
+impl ComponentIndex {
+    /// Builds the index for the subgraph of edges whose label passes
+    /// `filter`.
+    ///
+    /// The union-find runs over the out-adjacency in node order — the
+    /// identical sequence [`PropertyGraph::components`] performs — and
+    /// components are collected under the same root-keyed ordering, so
+    /// [`ComponentIndex::components`] equals a fresh
+    /// [`PropertyGraph::components`] call bit for bit.
+    pub fn build<N, L: Copy + Eq>(
+        graph: &PropertyGraph<N, L>,
+        mut filter: impl FnMut(&L) -> bool,
+    ) -> ComponentIndex {
+        let mut b = Builder::new(graph.node_count());
+        for id in graph.node_ids() {
+            for &(to, ref label) in graph.out_edges(id) {
+                if filter(label) {
+                    b.union(id.index(), to.index());
+                }
+            }
+        }
+        b.finish()
+    }
+
+    /// Builds one index per label in a single adjacency traversal.
+    ///
+    /// Each edge is dispatched to the accumulator of its label (edges
+    /// whose label is not listed are skipped), so every label sees the
+    /// exact union sequence a dedicated filtered [`ComponentIndex::build`]
+    /// would perform — the results are element-for-element identical —
+    /// while the multi-million-entry edge lists are walked once instead
+    /// of once per label.
+    pub fn build_many<N, L: Copy + Eq>(
+        graph: &PropertyGraph<N, L>,
+        labels: &[L],
+    ) -> Vec<ComponentIndex> {
+        let n = graph.node_count();
+        let mut builders: Vec<Builder> = labels.iter().map(|_| Builder::new(n)).collect();
+        for id in graph.node_ids() {
+            for &(to, ref label) in graph.out_edges(id) {
+                if let Some(slot) = labels.iter().position(|l| l == label) {
+                    builders[slot].union(id.index(), to.index());
+                }
+            }
+        }
+        builders.into_iter().map(Builder::finish).collect()
+    }
+
+    /// The connected components, identical to what
+    /// [`PropertyGraph::components`] returns for the same filter.
+    pub fn components(&self) -> &[Vec<NodeId>] {
+        &self.components
+    }
+
+    /// The component index of `node`, `None` when the node has no edge of
+    /// this label.
+    pub fn component_of(&self, node: NodeId) -> Option<usize> {
+        match self.group_of.get(node.index()) {
+            Some(&g) if g != NO_GROUP => Some(g as usize),
+            _ => None,
+        }
+    }
+
+    /// Members of `node`'s component (sorted ascending), `None` when the
+    /// node is isolated under this label.
+    pub fn component_members(&self, node: NodeId) -> Option<&[NodeId]> {
+        self.component_of(node).map(|g| self.components[g].as_slice())
+    }
+
+    /// Nodes incident to at least one edge of the label.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Directed edges of the label.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Table-II statistics of the labeled subgraph, identical to
+    /// [`RelationStats::compute`] over the same filter: incident-node and
+    /// directed-edge counts were gathered during the build, and the
+    /// average degree uses the same `edges / nodes` division.
+    pub fn stats(&self) -> RelationStats {
+        let avg = if self.nodes == 0 {
+            0.0
+        } else {
+            self.edges as f64 / self.nodes as f64
+        };
+        RelationStats {
+            nodes: self.nodes,
+            edges: self.edges,
+            avg_out_degree: avg,
+            avg_in_degree: avg,
+        }
+    }
+}
+
+/// Immutable CSR snapshot of one label's out-adjacency.
+#[derive(Debug, Clone)]
+pub struct AdjacencyIndex {
+    /// CSR offsets: the label-filtered out-neighbours of node `i` are
+    /// `targets[offsets[i]..offsets[i + 1]]`, in the same order they
+    /// appear in the underlying adjacency list.
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+}
+
+impl AdjacencyIndex {
+    /// Builds the CSR snapshot for the subgraph of edges whose label
+    /// passes `filter`.
+    pub fn build<N, L: Copy + Eq>(
+        graph: &PropertyGraph<N, L>,
+        mut filter: impl FnMut(&L) -> bool,
+    ) -> AdjacencyIndex {
+        let n = graph.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        offsets.push(0u32);
+        for id in graph.node_ids() {
+            for &(to, ref label) in graph.out_edges(id) {
+                if filter(label) {
+                    targets.push(to);
+                }
+            }
+            offsets.push(u32::try_from(targets.len()).expect("graph too large"));
+        }
+        AdjacencyIndex { offsets, targets }
+    }
+
+    /// Label-filtered out-neighbours of `node`, from the CSR snapshot.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        let i = node.index();
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Nodes reachable from `start` over the CSR snapshot, including
+    /// `start`, sorted ascending — byte-identical to
+    /// [`PropertyGraph::reachable`] with the same filter (the BFS visits
+    /// neighbours in the same order, and both sort the result).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not a node of the indexed graph.
+    pub fn reachable(&self, start: NodeId) -> Vec<NodeId> {
+        let n = self.offsets.len() - 1;
+        assert!(start.index() < n, "unknown start node");
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[start.index()] = true;
+        queue.push_back(start);
+        let mut out = Vec::new();
+        while let Some(cur) = queue.pop_front() {
+            out.push(cur);
+            for &next in self.neighbors(cur) {
+                if !seen[next.index()] {
+                    seen[next.index()] = true;
+                    queue.push_back(next);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Rel {
+        Dup,
+        Dep,
+    }
+
+    fn sample() -> (PropertyGraph<u32, Rel>, Vec<NodeId>) {
+        let mut g = PropertyGraph::new();
+        let ids: Vec<NodeId> = (0..6).map(|i| g.add_node(i)).collect();
+        g.add_undirected_edge(ids[0], ids[1], Rel::Dup);
+        g.add_undirected_edge(ids[1], ids[2], Rel::Dup);
+        g.add_undirected_edge(ids[4], ids[5], Rel::Dup);
+        g.add_edge(ids[3], ids[0], Rel::Dep);
+        (g, ids)
+    }
+
+    #[test]
+    fn components_match_fresh_computation() {
+        let (g, _) = sample();
+        for filter in [Rel::Dup, Rel::Dep] {
+            let index = ComponentIndex::build(&g, |l| *l == filter);
+            assert_eq!(index.components(), &g.components(|l| *l == filter)[..]);
+        }
+    }
+
+    #[test]
+    fn build_many_matches_individual_builds() {
+        let (g, _) = sample();
+        let many = ComponentIndex::build_many(&g, &[Rel::Dup, Rel::Dep]);
+        for (i, filter) in [Rel::Dup, Rel::Dep].into_iter().enumerate() {
+            let single = ComponentIndex::build(&g, |l| *l == filter);
+            assert_eq!(many[i].components(), single.components());
+            assert_eq!(many[i].node_count(), single.node_count());
+            assert_eq!(many[i].edge_count(), single.edge_count());
+            assert_eq!(many[i].stats(), single.stats());
+        }
+    }
+
+    #[test]
+    fn membership_and_counts() {
+        let (g, ids) = sample();
+        let index = ComponentIndex::build(&g, |l| *l == Rel::Dup);
+        assert_eq!(index.component_of(ids[0]), index.component_of(ids[2]));
+        assert_ne!(index.component_of(ids[0]), index.component_of(ids[4]));
+        assert_eq!(index.component_of(ids[3]), None);
+        assert_eq!(index.component_members(ids[4]), Some(&[ids[4], ids[5]][..]));
+        assert_eq!(index.node_count(), 5);
+        assert_eq!(index.edge_count(), 6);
+    }
+
+    #[test]
+    fn stats_match_direct_computation() {
+        let (g, _) = sample();
+        for filter in [Rel::Dup, Rel::Dep] {
+            let index = ComponentIndex::build(&g, |l| *l == filter);
+            assert_eq!(index.stats(), RelationStats::compute(&g, |l| *l == filter));
+        }
+    }
+
+    #[test]
+    fn reachable_matches_graph_bfs() {
+        let (g, ids) = sample();
+        for filter in [Rel::Dup, Rel::Dep] {
+            let index = AdjacencyIndex::build(&g, |l| *l == filter);
+            for &id in &ids {
+                assert_eq!(index.reachable(id), g.reachable(id, |l| *l == filter));
+            }
+        }
+    }
+
+    #[test]
+    fn csr_neighbors_preserve_adjacency_order() {
+        let (g, ids) = sample();
+        let index = AdjacencyIndex::build(&g, |l| *l == Rel::Dup);
+        let expected: Vec<NodeId> = g
+            .out_edges(ids[1])
+            .iter()
+            .filter(|&&(_, l)| l == Rel::Dup)
+            .map(|&(to, _)| to)
+            .collect();
+        assert_eq!(index.neighbors(ids[1]), &expected[..]);
+    }
+
+    #[test]
+    fn empty_label_yields_empty_index() {
+        let (g, ids) = sample();
+        let index = ComponentIndex::build(&g, |_| false);
+        assert!(index.components().is_empty());
+        assert_eq!(index.node_count(), 0);
+        assert_eq!(index.edge_count(), 0);
+        let adjacency = AdjacencyIndex::build(&g, |_| false);
+        assert!(adjacency.neighbors(ids[0]).is_empty());
+        assert_eq!(adjacency.reachable(ids[0]), vec![ids[0]]);
+    }
+}

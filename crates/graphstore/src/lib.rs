@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod dot;
+pub mod index;
 pub mod stats;
 pub mod unionfind;
 
@@ -46,6 +47,12 @@ impl NodeId {
     /// The raw index.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Crate-internal inverse of [`NodeId::index`]; only index structures
+    /// derived from an existing graph may mint ids.
+    pub(crate) fn from_index(i: usize) -> NodeId {
+        NodeId(u32::try_from(i).expect("graph too large"))
     }
 }
 

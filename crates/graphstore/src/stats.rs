@@ -47,6 +47,47 @@ impl RelationStats {
             avg_in_degree: avg,
         }
     }
+
+    /// [`RelationStats::compute`] for every label at once, in a single
+    /// traversal of the out-adjacency: each edge increments its label's
+    /// edge counter and marks both endpoints incident. Walking the edge
+    /// lists dominates on dense graphs, so one pass over all labels beats
+    /// one pass per label by the number of labels.
+    pub fn compute_many<N, L: Copy + Eq>(
+        graph: &PropertyGraph<N, L>,
+        labels: &[L],
+    ) -> Vec<RelationStats> {
+        let n = graph.node_count();
+        let mut edges = vec![0usize; labels.len()];
+        let mut touched = vec![vec![false; n]; labels.len()];
+        for id in graph.node_ids() {
+            for &(to, ref label) in graph.out_edges(id) {
+                if let Some(slot) = labels.iter().position(|l| l == label) {
+                    edges[slot] += 1;
+                    touched[slot][id.index()] = true;
+                    touched[slot][to.index()] = true;
+                }
+            }
+        }
+        labels
+            .iter()
+            .enumerate()
+            .map(|(slot, _)| {
+                let nodes = touched[slot].iter().filter(|&&t| t).count();
+                let avg = if nodes == 0 {
+                    0.0
+                } else {
+                    edges[slot] as f64 / nodes as f64
+                };
+                RelationStats {
+                    nodes,
+                    edges: edges[slot],
+                    avg_out_degree: avg,
+                    avg_in_degree: avg,
+                }
+            })
+            .collect()
+    }
 }
 
 /// Size distribution helpers for component censuses (Table VII, Fig. 4).
@@ -65,7 +106,14 @@ pub struct GroupCensus {
 impl GroupCensus {
     /// Summarizes a component list.
     pub fn from_components<T>(components: &[Vec<T>]) -> GroupCensus {
-        let mut sizes: Vec<usize> = components.iter().map(Vec::len).collect();
+        GroupCensus::from_sizes(components.iter().map(Vec::len))
+    }
+
+    /// Summarizes a component-size sequence directly — what cached
+    /// component indexes feed, where materializing the member lists again
+    /// would be pure copying.
+    pub fn from_sizes(sizes: impl IntoIterator<Item = usize>) -> GroupCensus {
+        let mut sizes: Vec<usize> = sizes.into_iter().collect();
         sizes.sort_unstable_by(|a, b| b.cmp(a));
         let group_count = sizes.len();
         let total: usize = sizes.iter().sum();
@@ -119,6 +167,25 @@ mod tests {
         assert_eq!(stats.edges, 2);
         assert!((stats.avg_out_degree - 1.0).abs() < 1e-9);
         assert_eq!(stats.avg_out_degree, stats.avg_in_degree);
+    }
+
+    #[test]
+    fn compute_many_matches_per_label_compute() {
+        let mut g: PropertyGraph<(), u8> = PropertyGraph::new();
+        let ids: Vec<_> = (0..6).map(|_| g.add_node(())).collect();
+        g.add_undirected_edge(ids[0], ids[1], 1);
+        g.add_undirected_edge(ids[1], ids[2], 1);
+        g.add_edge(ids[3], ids[4], 2);
+        g.add_undirected_edge(ids[4], ids[5], 3);
+        let labels = [1u8, 2, 3, 4];
+        let many = RelationStats::compute_many(&g, &labels);
+        for (slot, &label) in labels.iter().enumerate() {
+            assert_eq!(
+                many[slot],
+                RelationStats::compute(&g, |&l| l == label),
+                "label {label}"
+            );
+        }
     }
 
     #[test]

@@ -1,38 +1,43 @@
 //! RQ3 — Attack campaigns: active periods (Fig. 9), life-cycle phase
 //! statistics (Fig. 6) and campaign timelines (Fig. 8).
 
+use crate::analysis::index::AnalysisIndex;
 use crate::build::MalGraph;
 use crate::node::Relation;
 use crawler::CollectedDataset;
+use graphstore::NodeId;
 use oss_types::{PackageId, SimDuration, SimTime};
-use std::collections::HashMap;
 
 /// Active period of one group: `t_l − t_f` over its packages' release
 /// times (falling back to first-disclosure when metadata is missing).
+/// Served from the cached component index and the shared release-time
+/// table.
 pub fn active_periods(
     graph: &MalGraph,
     dataset: &CollectedDataset,
     relation: Relation,
 ) -> Vec<SimDuration> {
-    let released: HashMap<&PackageId, SimTime> = dataset
-        .packages
+    active_periods_in(
+        graph.groups(relation),
+        graph,
+        graph.analysis_index(dataset),
+    )
+}
+
+/// [`active_periods`] over an explicit group list — the serial-reference
+/// path of the equivalence harness passes freshly computed components
+/// through here.
+pub fn active_periods_in(
+    groups: &[Vec<NodeId>],
+    graph: &MalGraph,
+    index: &AnalysisIndex,
+) -> Vec<SimDuration> {
+    groups
         .iter()
-        .map(|p| {
-            let t = p
-                .meta
-                .map(|m| m.released)
-                .or_else(|| p.mentions.iter().map(|&(_, t)| t).min())
-                .unwrap_or(SimTime::EPOCH);
-            (&p.id, t)
-        })
-        .collect();
-    graph
-        .groups(relation)
-        .into_iter()
         .filter_map(|group| {
             let times: Vec<SimTime> = group
                 .iter()
-                .filter_map(|&n| released.get(&graph.graph.node(n).package).copied())
+                .filter_map(|&n| index.release_time_of(&graph.graph.node(n).package))
                 .collect();
             let first = times.iter().min()?;
             let last = times.iter().max()?;
@@ -114,8 +119,27 @@ pub struct TimelineEntry {
 }
 
 /// Reconstructs the release timeline of the co-existing group containing
-/// `member` (Fig. 8 uses the August-2023 npm campaign).
+/// `member` (Fig. 8 uses the August-2023 npm campaign). The traversal
+/// runs over the cached CSR snapshot instead of re-walking the labeled
+/// adjacency lists.
 pub fn campaign_timeline(
+    graph: &MalGraph,
+    dataset: &CollectedDataset,
+    member: &PackageId,
+) -> Vec<TimelineEntry> {
+    let Some(node) = graph.primary_node(member) else {
+        return Vec::new();
+    };
+    let group = graph.adjacency(Relation::Coexisting).reachable(node);
+    timeline_entries(group, graph, dataset)
+}
+
+/// [`campaign_timeline`] over the raw adjacency lists — the
+/// serial-reference path of the equivalence harness ([`AdjacencyIndex`]'s
+/// BFS is asserted byte-identical to this one).
+///
+/// [`AdjacencyIndex`]: graphstore::index::AdjacencyIndex
+pub fn campaign_timeline_reference(
     graph: &MalGraph,
     dataset: &CollectedDataset,
     member: &PackageId,
@@ -126,6 +150,14 @@ pub fn campaign_timeline(
     let group = graph
         .graph
         .reachable(node, |l| *l == Relation::Coexisting);
+    timeline_entries(group, graph, dataset)
+}
+
+fn timeline_entries(
+    group: Vec<NodeId>,
+    graph: &MalGraph,
+    dataset: &CollectedDataset,
+) -> Vec<TimelineEntry> {
     let mut entries: Vec<TimelineEntry> = group
         .into_iter()
         .filter_map(|n| {
@@ -227,6 +259,16 @@ mod tests {
         }
         assert_eq!(timeline[0].released.year(), 2023);
         assert_eq!(timeline[0].released.month(), 8);
+    }
+
+    #[test]
+    fn indexed_timeline_matches_reference() {
+        let (graph, dataset) = setup();
+        let member: PackageId = "npm/etc-crypto@1.0.0".parse().unwrap();
+        assert_eq!(
+            campaign_timeline(&graph, &dataset, &member),
+            campaign_timeline_reference(&graph, &dataset, &member)
+        );
     }
 
     #[test]

@@ -49,16 +49,47 @@ pub fn table7(graph: &MalGraph) -> Vec<DiversityRow> {
 }
 
 fn census_for(graph: &MalGraph, relation: Relation, eco: Ecosystem) -> DiversityCell {
-    let comps: Vec<Vec<graphstore::NodeId>> = graph
-        .groups(relation)
-        .into_iter()
-        .filter(|c| graph.graph.node(c[0]).ecosystem() == eco)
-        .collect();
-    let census = GroupCensus::from_components(&comps);
+    // Cached components; only the sizes of the ecosystem's groups feed
+    // the census, so nothing is copied.
+    let census = GroupCensus::from_sizes(
+        graph
+            .groups(relation)
+            .iter()
+            .filter(|c| graph.graph.node(c[0]).ecosystem() == eco)
+            .map(Vec::len),
+    );
     DiversityCell {
         groups: census.group_count,
         avg_size: census.avg_size,
     }
+}
+
+/// [`table7`] recomputed from the raw adjacency on every call — the
+/// serial-reference path of the equivalence harness (the pre-index code
+/// path, kept as the oracle the cached variant is asserted against).
+pub fn table7_reference(graph: &MalGraph) -> Vec<DiversityRow> {
+    let census_fresh = |relation: Relation, eco: Ecosystem| {
+        let comps: Vec<Vec<graphstore::NodeId>> = graph
+            .graph
+            .components(|l| *l == relation)
+            .into_iter()
+            .filter(|c| graph.graph.node(c[0]).ecosystem() == eco)
+            .collect();
+        let census = GroupCensus::from_components(&comps);
+        DiversityCell {
+            groups: census.group_count,
+            avg_size: census.avg_size,
+        }
+    };
+    Ecosystem::MAJOR
+        .iter()
+        .map(|&eco| DiversityRow {
+            ecosystem: eco,
+            sg: census_fresh(Relation::Similar, eco),
+            deg: census_fresh(Relation::Dependency, eco),
+            cg: census_fresh(Relation::Coexisting, eco),
+        })
+        .collect()
 }
 
 /// A Table II row.
@@ -76,21 +107,37 @@ pub struct Table2Row {
     pub avg_in_degree: f64,
 }
 
-/// Computes Table II (node/edge/degree summary per relation graph).
+/// Computes Table II (node/edge/degree summary per relation graph) from
+/// the cached per-relation indexes.
 pub fn table2(graph: &MalGraph) -> Vec<Table2Row> {
     Relation::ALL
         .into_iter()
+        .map(|relation| row_from_stats(relation, graph.relation_stats(relation)))
+        .collect()
+}
+
+/// [`table2`] recomputed with degree scans over the raw adjacency — the
+/// serial-reference path of the equivalence harness.
+pub fn table2_reference(graph: &MalGraph) -> Vec<Table2Row> {
+    Relation::ALL
+        .into_iter()
         .map(|relation| {
-            let stats = graph.relation_stats(relation);
-            Table2Row {
+            row_from_stats(
                 relation,
-                nodes: stats.nodes,
-                edges: stats.edges,
-                avg_out_degree: stats.avg_out_degree,
-                avg_in_degree: stats.avg_in_degree,
-            }
+                graphstore::stats::RelationStats::compute(&graph.graph, |l| *l == relation),
+            )
         })
         .collect()
+}
+
+fn row_from_stats(relation: Relation, stats: graphstore::stats::RelationStats) -> Table2Row {
+    Table2Row {
+        relation,
+        nodes: stats.nodes,
+        edges: stats.edges,
+        avg_out_degree: stats.avg_out_degree,
+        avg_in_degree: stats.avg_in_degree,
+    }
 }
 
 #[cfg(test)]
@@ -146,6 +193,13 @@ mod tests {
         }
         // NPM carries most DeGs (11 vs 1 vs 0 in the paper).
         assert!(rows[0].deg.groups >= rows[2].deg.groups);
+    }
+
+    #[test]
+    fn cached_tables_match_reference_recomputation() {
+        let graph = graph();
+        assert_eq!(table7(&graph), table7_reference(&graph));
+        assert_eq!(table2(&graph), table2_reference(&graph));
     }
 
     #[test]

@@ -64,11 +64,23 @@ pub fn release_sequences<'d>(
     graph: &MalGraph,
     dataset: &'d CollectedDataset,
 ) -> Vec<Vec<&'d CollectedPackage>> {
+    release_sequences_in(graph.groups(Relation::Similar), graph, dataset)
+}
+
+/// [`release_sequences`] over an explicit SG list — the serial-reference
+/// path of the equivalence harness passes freshly computed components
+/// through here. The memoized fast path is
+/// [`AnalysisIndex::release_sequences`](crate::analysis::index::AnalysisIndex::release_sequences),
+/// which caches the sorted member positions across experiments.
+pub fn release_sequences_in<'d>(
+    groups: &[Vec<graphstore::NodeId>],
+    graph: &MalGraph,
+    dataset: &'d CollectedDataset,
+) -> Vec<Vec<&'d CollectedPackage>> {
     let by_id: HashMap<&PackageId, &CollectedPackage> =
         dataset.packages.iter().map(|p| (&p.id, p)).collect();
-    graph
-        .groups(Relation::Similar)
-        .into_iter()
+    groups
+        .iter()
         .map(|group| {
             let mut members: Vec<&CollectedPackage> = group
                 .iter()
@@ -265,6 +277,29 @@ pub fn idn_ranking(
     registry: &dyn RegistryView,
     top: usize,
 ) -> Vec<IdnRow> {
+    idn_ranking_with(dataset, registry, top, |id| dataset.get(id))
+}
+
+/// [`idn_ranking`] with corpus lookups answered by an
+/// [`crate::analysis::index::AnalysisIndex`] instead of a linear scan per
+/// consecutive-version pair. Identical output.
+pub fn idn_ranking_indexed(
+    index: &crate::analysis::index::AnalysisIndex,
+    dataset: &CollectedDataset,
+    registry: &dyn RegistryView,
+    top: usize,
+) -> Vec<IdnRow> {
+    idn_ranking_with(dataset, registry, top, |id| {
+        index.package_index(id).map(|i| &dataset.packages[i])
+    })
+}
+
+fn idn_ranking_with<'d>(
+    dataset: &'d CollectedDataset,
+    registry: &dyn RegistryView,
+    top: usize,
+    mut lookup: impl FnMut(&PackageId) -> Option<&'d CollectedPackage>,
+) -> Vec<IdnRow> {
     let mut seen: HashSet<(oss_types::Ecosystem, String)> = HashSet::new();
     let mut rows: Vec<IdnRow> = Vec::new();
     for pkg in &dataset.packages {
@@ -281,12 +316,10 @@ pub fn idn_ranking(
                 continue;
             }
             // Archives: collected corpus first, live registry second.
-            let prev_archive = dataset
-                .get(prev_id)
+            let prev_archive = lookup(prev_id)
                 .and_then(|p| p.archive.clone())
                 .or_else(|| registry.live_archive(prev_id));
-            let next_archive = dataset
-                .get(next_id)
+            let next_archive = lookup(next_id)
                 .and_then(|p| p.archive.clone())
                 .or_else(|| registry.live_archive(next_id));
             let change = detect_change(

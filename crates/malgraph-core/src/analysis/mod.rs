@@ -15,12 +15,15 @@
 //! * [`timeline`] — the Fig.-2 release timeline and the §II-D
 //!   stability-over-time check;
 //! * [`typosquat`] — extension: which popular packages attackers
-//!   impersonate (§V's "most popular attack vector", measured).
+//!   impersonate (§V's "most popular attack vector", measured);
+//! * [`index`] — the shared corpus lookup structures the passes above
+//!   query instead of rescanning the dataset.
 
 pub mod actors;
 pub mod campaign;
 pub mod diversity;
 pub mod evolution;
+pub mod index;
 pub mod overlap;
 pub mod quality;
 pub mod timeline;

@@ -6,8 +6,9 @@
 //! package name, find the closest popular legitimate package within edit
 //! distance 2 and census which targets attackers impersonate most.
 
-use crawler::CollectedDataset;
-use oss_types::name::levenshtein;
+use crate::analysis::index::AnalysisIndex;
+use crawler::{CollectedDataset, CollectedPackage};
+use oss_types::name::levenshtein_bounded;
 use oss_types::Ecosystem;
 use std::collections::HashMap;
 
@@ -42,6 +43,10 @@ impl TyposquatCensus {
     }
 }
 
+/// The paper's distance threshold: a stem within two edits of a popular
+/// name counts as impersonating it.
+const SQUAT_BOUND: usize = 2;
+
 /// Runs the census over the corpus, optionally per ecosystem. A package
 /// counts as a squatter of the *closest* target (ties broken by target
 /// order) when its name's stem is within edit distance 2.
@@ -49,27 +54,52 @@ pub fn typosquat_census(
     dataset: &CollectedDataset,
     ecosystem: Option<Ecosystem>,
 ) -> TyposquatCensus {
+    census_over(dataset.packages.iter().filter(|pkg| {
+        ecosystem.is_none_or(|eco| pkg.id.ecosystem() == eco)
+    }))
+}
+
+/// [`typosquat_census`] over the index's per-ecosystem partition — the
+/// `Some(ecosystem)` case touches only that ecosystem's packages instead
+/// of filtering the whole corpus.
+pub fn typosquat_census_indexed(
+    index: &AnalysisIndex,
+    dataset: &CollectedDataset,
+    ecosystem: Option<Ecosystem>,
+) -> TyposquatCensus {
+    match ecosystem {
+        None => census_over(dataset.packages.iter()),
+        Some(eco) => census_over(
+            index
+                .packages_in(eco)
+                .iter()
+                .map(|&i| &dataset.packages[i]),
+        ),
+    }
+}
+
+fn census_over<'d>(packages: impl Iterator<Item = &'d CollectedPackage>) -> TyposquatCensus {
     let targets = &registry_sim::names::POPULAR_TARGETS;
     let mut counts: HashMap<&'static str, usize> = HashMap::new();
     let mut squatting = 0usize;
     let mut total = 0usize;
-    for pkg in &dataset.packages {
-        if let Some(eco) = ecosystem {
-            if pkg.id.ecosystem() != eco {
-                continue;
-            }
-        }
+    for pkg in packages {
         total += 1;
         // Campaign names carry uniqueness suffixes (`reqests-4f`); squat
         // detection uses the stem before the last dash group.
         let name = pkg.id.name().as_str();
         let stem = name.rsplit_once('-').map(|(s, _)| s).unwrap_or(name);
+        // The banded distance is `None` above the bound, so targets more
+        // than two edits away never reach the `min` — which cannot change
+        // the winner: a first-minimum at distance ≤ 2 beats every pruned
+        // (> 2) target, and when all targets are pruned the package was
+        // never counted anyway.
         let best = targets
             .iter()
-            .map(|t| (levenshtein(stem, t), *t))
+            .filter_map(|t| levenshtein_bounded(stem, t, SQUAT_BOUND).map(|d| (d, *t)))
             .min_by_key(|&(d, _)| d);
-        if let Some((distance, target)) = best {
-            if distance <= 2 && stem != target {
+        if let Some((_, target)) = best {
+            if stem != target {
                 *counts.entry(target).or_default() += 1;
                 squatting += 1;
             }
@@ -124,6 +154,24 @@ mod tests {
             .map(|&e| typosquat_census(&ds, Some(e)).squatting_packages)
             .sum();
         assert_eq!(all.squatting_packages, per_eco);
+    }
+
+    #[test]
+    fn indexed_census_matches_filtered_census() {
+        let world = World::generate(WorldConfig::small(131));
+        let ds = collect(&world);
+        let index = AnalysisIndex::new(&ds);
+        assert_eq!(
+            typosquat_census_indexed(&index, &ds, None),
+            typosquat_census(&ds, None)
+        );
+        for &eco in &Ecosystem::ALL {
+            assert_eq!(
+                typosquat_census_indexed(&index, &ds, Some(eco)),
+                typosquat_census(&ds, Some(eco)),
+                "{eco:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! MALGRAPH construction from a collected corpus (paper §III).
 
+use crate::analysis::index::AnalysisIndex;
 use crate::node::{MalNode, Relation};
 use crate::similarity::{similar_pairs, SimilarityConfig, SimilarityOutput};
 use crawler::CollectedDataset;
+use graphstore::index::{AdjacencyIndex, ComponentIndex};
 use graphstore::{NodeId, PropertyGraph};
 use oss_types::{Ecosystem, PackageId};
 use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
 
 /// Options of the graph builder.
 #[derive(Debug, Clone, Default)]
@@ -27,6 +30,33 @@ pub struct MalGraph {
     primary: HashMap<PackageId, NodeId>,
     /// Similarity diagnostics per ecosystem (chosen k, schedule trace).
     pub similarity_diagnostics: Vec<(Ecosystem, SimilarityOutput)>,
+    /// Lazily-built per-relation component indexes, in [`Relation::ALL`]
+    /// order — all built in one adjacency traversal on the first
+    /// component query (the similarity relation alone carries tens of
+    /// millions of directed edges, so the traversal, not the union-find,
+    /// dominates). The graph is immutable once built (the builder
+    /// returns it by value and no `&mut` accessor is exposed), so a
+    /// snapshot taken at first query stays valid for the graph's
+    /// lifetime.
+    indexes: OnceLock<Vec<ComponentIndex>>,
+    /// Lazily-built per-relation CSR adjacency snapshots, in
+    /// [`Relation::ALL`] order. Built per relation on demand — only the
+    /// sparse co-existing relation is ever traversed, and materialising
+    /// the similarity CSR would cost hundreds of megabytes.
+    adjacency: [OnceLock<AdjacencyIndex>; Relation::ALL.len()],
+    /// Lazily-computed Table-II statistics, in [`Relation::ALL`] order,
+    /// gathered for all relations in a single edge scan.
+    stats: OnceLock<Vec<graphstore::stats::RelationStats>>,
+    /// Lazily-built corpus lookup structures shared by the RQ passes.
+    analysis: OnceLock<AnalysisIndex>,
+}
+
+/// Position of `relation` in [`Relation::ALL`].
+fn relation_slot(relation: Relation) -> usize {
+    Relation::ALL
+        .iter()
+        .position(|r| *r == relation)
+        .expect("relation listed in ALL")
 }
 
 impl MalGraph {
@@ -40,14 +70,63 @@ impl MalGraph {
         self.primary.len()
     }
 
-    /// Connected components of one relation (paper's subgraph groups).
-    pub fn groups(&self, relation: Relation) -> Vec<Vec<NodeId>> {
-        self.graph.components(|l| *l == relation)
+    /// The cached component index for one relation. The first query
+    /// builds the indexes of *all* relations in a single adjacency
+    /// traversal ([`ComponentIndex::build_many`]); `OnceLock` serialises
+    /// concurrent first queries, so the parallel analysis harness shares
+    /// one snapshot per relation.
+    pub fn component_index(&self, relation: Relation) -> &ComponentIndex {
+        let indexes = self.indexes.get_or_init(|| {
+            let _span = obs::span!("analysis/index/components");
+            obs::counter_add("analysis.index_builds", Relation::ALL.len() as u64);
+            let indexes = ComponentIndex::build_many(&self.graph, &Relation::ALL);
+            for index in &indexes {
+                obs::counter_add("analysis.indexed_components", index.components().len() as u64);
+            }
+            indexes
+        });
+        &indexes[relation_slot(relation)]
     }
 
-    /// Table II row for one relation.
+    /// The cached CSR adjacency snapshot for one relation, built on first
+    /// use (each relation independently — traversal queries only run over
+    /// the sparse relations, and a dense relation's CSR would dwarf the
+    /// graph itself).
+    pub fn adjacency(&self, relation: Relation) -> &AdjacencyIndex {
+        self.adjacency[relation_slot(relation)].get_or_init(|| {
+            let _span = obs::span!("analysis/index/adjacency/{}", relation.group_label());
+            obs::counter_add("analysis.adjacency_builds", 1);
+            AdjacencyIndex::build(&self.graph, |l| *l == relation)
+        })
+    }
+
+    /// Connected components of one relation (paper's subgraph groups) —
+    /// identical to `self.graph.components(|l| *l == relation)`, served
+    /// from the cached [`ComponentIndex`] after the first call.
+    pub fn groups(&self, relation: Relation) -> &[Vec<NodeId>] {
+        obs::counter_add("analysis.group_queries", 1);
+        self.component_index(relation).components()
+    }
+
+    /// Table II row for one relation, from a cache computed for all
+    /// relations in one edge scan (identical to a fresh
+    /// [`graphstore::stats::RelationStats::compute`]). Deliberately does
+    /// *not* force the component indexes: the statistics need no
+    /// union-find.
     pub fn relation_stats(&self, relation: Relation) -> graphstore::stats::RelationStats {
-        graphstore::stats::RelationStats::compute(&self.graph, |l| *l == relation)
+        let stats = self.stats.get_or_init(|| {
+            let _span = obs::span!("analysis/index/stats");
+            graphstore::stats::RelationStats::compute_many(&self.graph, &Relation::ALL)
+        });
+        stats[relation_slot(relation)].clone()
+    }
+
+    /// The corpus-side [`AnalysisIndex`], built on first use. The index
+    /// binds to the first `dataset` passed in — callers must keep
+    /// querying with the corpus the graph was built from (enforced by a
+    /// package-count check on the index's dataset-taking methods).
+    pub fn analysis_index(&self, dataset: &CollectedDataset) -> &AnalysisIndex {
+        self.analysis.get_or_init(|| AnalysisIndex::new(dataset))
     }
 }
 
@@ -229,6 +308,10 @@ pub fn build(dataset: &CollectedDataset, options: &BuildOptions) -> MalGraph {
         graph,
         primary,
         similarity_diagnostics,
+        indexes: OnceLock::new(),
+        adjacency: Default::default(),
+        stats: OnceLock::new(),
+        analysis: OnceLock::new(),
     }
 }
 
@@ -273,7 +356,7 @@ mod tests {
             .filter(|p| p.mentions.len() >= 2)
             .count();
         assert_eq!(dg.len(), multi, "one DG per multi-source package");
-        for group in &dg {
+        for group in dg {
             let first = &graph.graph.node(group[0]).package;
             assert!(
                 group.iter().all(|&n| &graph.graph.node(n).package == first),
@@ -292,7 +375,7 @@ mod tests {
             !deg.is_empty(),
             "dependency campaigns must produce DeG groups"
         );
-        for group in &deg {
+        for group in deg {
             assert!(group.len() >= 2);
         }
         // Validate one edge against ground truth: the target of every

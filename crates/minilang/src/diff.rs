@@ -48,7 +48,59 @@ impl DiffStats {
 pub fn diff_lines<S: AsRef<str>>(old: &[S], new: &[S]) -> DiffStats {
     let n = old.len();
     let m = new.len();
-    // Classic O(n·m) LCS table; programs here are small (tens of lines).
+    // Trim the common prefix and suffix first. Every line of a common
+    // affix belongs to *some* maximum-length common subsequence (matching
+    // it can never cost a longer match elsewhere), so
+    // `LCS = prefix + LCS(middle) + suffix` — and re-releases within a
+    // campaign overwhelmingly share almost all their lines, emptying the
+    // middle entirely.
+    let mut prefix = 0usize;
+    while prefix < n && prefix < m && old[prefix].as_ref() == new[prefix].as_ref() {
+        prefix += 1;
+    }
+    let mut suffix = 0usize;
+    while suffix < n - prefix && suffix < m - prefix
+        && old[n - 1 - suffix].as_ref() == new[m - 1 - suffix].as_ref()
+    {
+        suffix += 1;
+    }
+    let lcs = prefix + suffix + lcs_two_row(&old[prefix..n - suffix], &new[prefix..m - suffix]);
+    DiffStats {
+        removed: n - lcs,
+        added: m - lcs,
+        common: lcs,
+    }
+}
+
+/// LCS length in O(n·m) time and O(min(n, m)) space: the classic
+/// two-row DP, keeping only the previous row instead of the full table.
+fn lcs_two_row<S: AsRef<str>>(old: &[S], new: &[S]) -> usize {
+    // Roll over the shorter side to bound the rows at min(n, m) + 1.
+    let (short, long) = if old.len() <= new.len() { (old, new) } else { (new, old) };
+    if short.is_empty() {
+        return 0;
+    }
+    let mut prev = vec![0usize; short.len() + 1];
+    let mut cur = vec![0usize; short.len() + 1];
+    for row in long {
+        for (j, col) in short.iter().enumerate() {
+            cur[j + 1] = if row.as_ref() == col.as_ref() {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// The original full-table LCS diff, kept as the oracle the trimmed
+/// two-row implementation is property-tested against.
+#[cfg(test)]
+fn diff_lines_reference<S: AsRef<str>>(old: &[S], new: &[S]) -> DiffStats {
+    let n = old.len();
+    let m = new.len();
     let mut table = vec![0usize; (n + 1) * (m + 1)];
     let idx = |i: usize, j: usize| i * (m + 1) + j;
     for i in (0..n).rev() {
@@ -140,5 +192,52 @@ mod tests {
         assert_eq!(ab.common, ba.common);
         assert_eq!(ab.added, ba.removed);
         assert_eq!(ab.changed_lines(), ba.changed_lines());
+    }
+
+    #[test]
+    fn trimmed_two_row_matches_full_table_on_edge_shapes() {
+        let cases: &[(&[&str], &[&str])] = &[
+            (&[], &[]),
+            (&[], &["a"]),
+            (&["a"], &[]),
+            (&["a", "b", "c"], &["a", "b", "c"]),
+            (&["a", "b", "c"], &["c", "b", "a"]),
+            (&["p", "x", "s"], &["p", "y", "s"]),
+            (&["p", "p", "s", "s"], &["p", "s"]),
+            (&["a", "a", "a"], &["a", "a"]),
+        ];
+        for (old, new) in cases {
+            assert_eq!(
+                diff_lines(old, new),
+                diff_lines_reference(old, new),
+                "old {old:?} new {new:?}"
+            );
+        }
+    }
+
+    mod properties {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        /// Small alphabet so generated sequences collide often — the
+        /// regime where prefix/suffix trimming and mid-sequence matching
+        /// interact.
+        fn arb_lines() -> impl Strategy<Value = Vec<String>> {
+            proptest::collection::vec("[abc]", 0..24)
+        }
+
+        proptest! {
+            #[test]
+            fn two_row_diff_equals_full_table(old in arb_lines(), new in arb_lines()) {
+                prop_assert_eq!(diff_lines(&old, &new), diff_lines_reference(&old, &new));
+            }
+
+            #[test]
+            fn diff_bounds_hold(old in arb_lines(), new in arb_lines()) {
+                let stats = diff_lines(&old, &new);
+                prop_assert_eq!(stats.removed + stats.common, old.len());
+                prop_assert_eq!(stats.added + stats.common, new.len());
+            }
+        }
     }
 }

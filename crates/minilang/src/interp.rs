@@ -19,8 +19,9 @@ use std::rc::Rc;
 /// A recorded external-API interaction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Effect {
-    /// Dotted API path, e.g. `requests.post` or `os.getenv`.
-    pub api: String,
+    /// Dotted API path, e.g. `requests.post` or `os.getenv`. Shared
+    /// (`Rc`) because hot loops record the same path thousands of times.
+    pub api: Rc<str>,
     /// Rendered argument previews (strings truncated).
     pub args: Vec<String>,
 }
@@ -57,10 +58,10 @@ impl Trace {
 
     /// All APIs touched, deduplicated, in first-touch order.
     pub fn apis(&self) -> Vec<&str> {
-        let mut seen = Vec::new();
+        let mut seen: Vec<&str> = Vec::new();
         for e in &self.effects {
-            if !seen.contains(&e.api.as_str()) {
-                seen.push(e.api.as_str());
+            if !seen.contains(&&*e.api) {
+                seen.push(&e.api);
             }
         }
         seen
@@ -172,9 +173,9 @@ pub fn run(module: &Module, config: &InterpConfig) -> Trace {
         steps: 0,
         effects: Vec::new(),
         functions: Vec::new(),
-        globals: HashMap::new(),
+        globals: Env::default(),
     };
-    let (outcome, error) = match interp.exec_block(&module.body, &mut HashMap::new(), true) {
+    let (outcome, error) = match interp.exec_block(&module.body, &mut Env::default(), true) {
         Ok(Flow::Normal) | Ok(Flow::Return(_)) => (Outcome::Completed, None),
         Err(Stop::Fuel) => (Outcome::FuelExhausted, None),
         Err(Stop::Error(e)) => (Outcome::Error, Some(e)),
@@ -208,12 +209,38 @@ struct FuncDef {
     body: Vec<Stmt>,
 }
 
+/// FNV-1a. Variable lookup is the hottest operation in the sandbox and
+/// SipHash dominates it; a fixed basis keeps hashing deterministic.
+struct FastHasher(u64);
+
+impl Default for FastHasher {
+    fn default() -> Self {
+        FastHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for FastHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+type Env = HashMap<String, Value, std::hash::BuildHasherDefault<FastHasher>>;
+
 struct Interp {
     fuel: u64,
     steps: u64,
     effects: Vec<Effect>,
-    functions: Vec<FuncDef>,
-    globals: HashMap<String, Value>,
+    // Reference-counted so `call()` can borrow a definition without
+    // cloning its body while `&mut self` executes it.
+    functions: Vec<Rc<FuncDef>>,
+    globals: Env,
 }
 
 impl Interp {
@@ -228,7 +255,7 @@ impl Interp {
     fn exec_block(
         &mut self,
         stmts: &[Stmt],
-        locals: &mut HashMap<String, Value>,
+        locals: &mut Env,
         global_scope: bool,
     ) -> Result<Flow, Stop> {
         for stmt in stmts {
@@ -243,7 +270,7 @@ impl Interp {
     fn exec_stmt(
         &mut self,
         stmt: &Stmt,
-        locals: &mut HashMap<String, Value>,
+        locals: &mut Env,
         global_scope: bool,
     ) -> Result<Flow, Stop> {
         self.burn()?;
@@ -253,7 +280,7 @@ impl Interp {
                     module.split('.').next().unwrap_or(module).to_owned()
                 });
                 let value = Value::Module(Rc::from(module.as_str()));
-                self.bind(local, value, locals, global_scope);
+                self.bind(&local, value, locals, global_scope);
                 Ok(Flow::Normal)
             }
             Stmt::FromImport {
@@ -263,21 +290,21 @@ impl Interp {
             } => {
                 let local = alias.clone().unwrap_or_else(|| name.clone());
                 let value = Value::ExternalFn(Rc::from(format!("{module}.{name}").as_str()));
-                self.bind(local, value, locals, global_scope);
+                self.bind(&local, value, locals, global_scope);
                 Ok(Flow::Normal)
             }
             Stmt::Assign { target, value } => {
                 let value = self.eval(value, locals)?;
                 match target {
                     Expr::Name(name) => {
-                        self.bind(name.clone(), value, locals, global_scope);
+                        self.bind(name, value, locals, global_scope);
                     }
                     // Attribute/index stores on mocks are effects too
                     // (e.g. `os.environ['X'] = …`), recorded and dropped.
                     Expr::Attribute { value: base, attr } => {
                         let base = self.eval(base, locals)?;
                         self.effects.push(Effect {
-                            api: format!("{}.{attr}=", external_name(&base)),
+                            api: Rc::from(format!("{}.{attr}=", external_name(&base)).as_str()),
                             args: vec![],
                         });
                     }
@@ -294,11 +321,11 @@ impl Interp {
             }
             Stmt::FunctionDef { name, params, body } => {
                 let idx = self.functions.len();
-                self.functions.push(FuncDef {
+                self.functions.push(Rc::new(FuncDef {
                     params: params.clone(),
                     body: body.clone(),
-                });
-                self.bind(name.clone(), Value::Func(idx), locals, global_scope);
+                }));
+                self.bind(name, Value::Func(idx), locals, global_scope);
                 Ok(Flow::Normal)
             }
             Stmt::If { cond, body, orelse } => {
@@ -323,7 +350,7 @@ impl Interp {
                     other => vec![other.clone(), other],
                 };
                 for item in items {
-                    self.bind(var.clone(), item, locals, global_scope);
+                    self.bind(var, item, locals, global_scope);
                     match self.exec_block(body, locals, global_scope)? {
                         Flow::Normal => {}
                         ret @ Flow::Return(_) => return Ok(ret),
@@ -366,34 +393,43 @@ impl Interp {
 
     fn bind(
         &mut self,
-        name: String,
+        name: &str,
         value: Value,
-        locals: &mut HashMap<String, Value>,
+        locals: &mut Env,
         global_scope: bool,
     ) {
-        if global_scope {
-            self.globals.insert(name, value);
+        let scope = if global_scope { &mut self.globals } else { locals };
+        // Re-binding an existing name (every loop iteration) must not
+        // re-allocate the key.
+        if let Some(slot) = scope.get_mut(name) {
+            *slot = value;
         } else {
-            locals.insert(name, value);
+            scope.insert(name.to_owned(), value);
         }
     }
 
-    fn lookup(&self, name: &str, locals: &HashMap<String, Value>) -> Option<Value> {
+    fn lookup(&self, name: &str, locals: &Env) -> Option<Value> {
         locals
             .get(name)
             .or_else(|| self.globals.get(name))
             .cloned()
     }
 
-    fn eval(&mut self, expr: &Expr, locals: &mut HashMap<String, Value>) -> Result<Value, Stop> {
+    fn eval(&mut self, expr: &Expr, locals: &mut Env) -> Result<Value, Stop> {
         self.burn()?;
         match expr {
-            Expr::Name(name) => self.lookup(name, locals).map_or_else(
+            Expr::Name(name) => match self.lookup(name, locals) {
+                Some(v) => Ok(v),
                 // Undefined globals behave like external handles: the
                 // junk helpers (`hlib_123.op_9(x)`) must be traceable.
-                || Ok(Value::Module(Rc::from(name.as_str()))),
-                Ok,
-            ),
+                // Memoised in globals — the next read returns the same
+                // handle instead of allocating a fresh one.
+                None => {
+                    let v = Value::Module(Rc::from(name.as_str()));
+                    self.globals.insert(name.clone(), v.clone());
+                    Ok(v)
+                }
+            },
             Expr::Str(s) => Ok(Value::Str(Rc::from(s.as_str()))),
             Expr::Int(v) => Ok(Value::Int(*v)),
             Expr::Float(v) => Ok(Value::Float(*v)),
@@ -422,12 +458,12 @@ impl Interp {
                     Value::Opaque(src) => {
                         // Reading a field of an API result (e.g.
                         // `resp.content`) is itself an observable touch.
-                        let api = format!("{src}.{attr}");
+                        let api: Rc<str> = Rc::from(format!("{src}.{attr}").as_str());
                         self.effects.push(Effect {
-                            api: api.clone(),
+                            api: Rc::clone(&api),
                             args: vec![],
                         });
-                        Ok(Value::Opaque(Rc::from(api.as_str())))
+                        Ok(Value::Opaque(api))
                     }
                     Value::Str(_) | Value::List(_) | Value::Dict(_) => {
                         // Built-in methods (strip/lower/…): callable,
@@ -471,7 +507,7 @@ impl Interp {
                     (Value::Module(m), key) => {
                         // `os.environ['AWS_KEY']`-style reads.
                         self.effects.push(Effect {
-                            api: format!("{m}.__getitem__"),
+                            api: Rc::from(format!("{m}.__getitem__").as_str()),
                             args: vec![key.preview()],
                         });
                         Ok(Value::Str(Rc::from("mock-value")))
@@ -527,7 +563,7 @@ impl Interp {
     fn call(&mut self, callee: Value, args: Vec<Value>) -> Result<Value, Stop> {
         match callee {
             Value::Func(idx) => {
-                let def = &self.functions[idx];
+                let def = Rc::clone(&self.functions[idx]);
                 if def.params.len() != args.len() {
                     return Err(err(format!(
                         "function expected {} args, got {}",
@@ -535,18 +571,16 @@ impl Interp {
                         args.len()
                     )));
                 }
-                let params = def.params.clone();
-                let body = def.body.clone();
-                let mut frame: HashMap<String, Value> =
-                    params.into_iter().zip(args).collect();
-                match self.exec_block(&body, &mut frame, false)? {
+                let mut frame: Env =
+                    def.params.iter().cloned().zip(args).collect();
+                match self.exec_block(&def.body, &mut frame, false)? {
                     Flow::Return(v) => Ok(v),
                     Flow::Normal => Ok(Value::NoneV),
                 }
             }
             Value::ExternalFn(api) => {
                 self.effects.push(Effect {
-                    api: api.to_string(),
+                    api: Rc::clone(&api),
                     args: args.iter().map(Value::preview).collect(),
                 });
                 Ok(mock_result(&api))
@@ -556,7 +590,7 @@ impl Interp {
                 // attribute gives ExternalFn; a bare handle call is the
                 // junk-helper case) records the touch.
                 self.effects.push(Effect {
-                    api: format!("{m}.__call__"),
+                    api: Rc::from(format!("{m}.__call__").as_str()),
                     args: args.iter().map(Value::preview).collect(),
                 });
                 Ok(Value::Opaque(m))
@@ -566,7 +600,7 @@ impl Interp {
                 // (`sock.connect(...)`, `resp.json()`) is an external
                 // touch under the result's dotted path.
                 self.effects.push(Effect {
-                    api: src.to_string(),
+                    api: Rc::clone(&src),
                     args: args.iter().map(Value::preview).collect(),
                 });
                 Ok(Value::Opaque(src))
@@ -587,8 +621,8 @@ fn external_name(value: &Value) -> String {
 
 /// Mocked return values chosen so malicious code paths keep executing
 /// (conditions pass, loops iterate once or twice).
-fn mock_result(api: &str) -> Value {
-    match api {
+fn mock_result(api: &Rc<str>) -> Value {
+    match &**api {
         "os.getenv" | "clipboard.paste" | "socket.gethostname" => {
             Value::Str(Rc::from("mock-value"))
         }
@@ -601,7 +635,7 @@ fn mock_result(api: &str) -> Value {
         ])),
         "re.match" => Value::Bool(true),
         api if api.starts_with("builtin.") => Value::Str(Rc::from("mock")),
-        _ => Value::Opaque(Rc::from(api)),
+        _ => Value::Opaque(Rc::clone(api)),
     }
 }
 
@@ -688,7 +722,7 @@ mod tests {
         assert_eq!(t.outcome, Outcome::Completed);
         assert!(t.touched("os.getenv"));
         assert!(t.touched("requests.post"));
-        let post = t.effects.iter().find(|e| e.api == "requests.post").unwrap();
+        let post = t.effects.iter().find(|e| &*e.api == "requests.post").unwrap();
         assert!(post.args[0].contains("evil.xyz"));
         assert!(post.args[1].contains("mock-value"), "{:?}", post.args);
     }

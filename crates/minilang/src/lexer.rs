@@ -242,23 +242,43 @@ fn lex_line(rest: &str, line: usize, tokens: &mut Vec<SpannedToken>) -> Result<(
                 push(tokens, Token::Ident(chars[start..i].iter().collect()));
             }
             _ => {
-                // Operators, longest first.
-                const TWO: [&str; 6] = ["**", "==", "!=", "<=", ">=", "->"];
-                const ONE: [&str; 15] = [
-                    "+", "-", "*", "/", "%", "=", "<", ">", "(", ")", "[", "]", "{", "}", ":",
-                ];
-                const ONE_MORE: [&str; 2] = [",", "."];
-                let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
-                if let Some(op) = TWO.iter().find(|&&t| t == two) {
+                // Operators, longest first — matched on chars directly so
+                // no temporary strings are allocated per token.
+                let next = chars.get(i + 1).copied();
+                let two = match (c, next) {
+                    ('*', Some('*')) => Some("**"),
+                    ('=', Some('=')) => Some("=="),
+                    ('!', Some('=')) => Some("!="),
+                    ('<', Some('=')) => Some("<="),
+                    ('>', Some('=')) => Some(">="),
+                    ('-', Some('>')) => Some("->"),
+                    _ => None,
+                };
+                if let Some(op) = two {
                     push(tokens, Token::Op(op));
                     i += 2;
                 } else {
-                    let one = c.to_string();
-                    if let Some(op) = ONE
-                        .iter()
-                        .chain(ONE_MORE.iter())
-                        .find(|&&t| t == one)
-                    {
+                    let one = match c {
+                        '+' => Some("+"),
+                        '-' => Some("-"),
+                        '*' => Some("*"),
+                        '/' => Some("/"),
+                        '%' => Some("%"),
+                        '=' => Some("="),
+                        '<' => Some("<"),
+                        '>' => Some(">"),
+                        '(' => Some("("),
+                        ')' => Some(")"),
+                        '[' => Some("["),
+                        ']' => Some("]"),
+                        '{' => Some("{"),
+                        '}' => Some("}"),
+                        ':' => Some(":"),
+                        ',' => Some(","),
+                        '.' => Some("."),
+                        _ => None,
+                    };
+                    if let Some(op) = one {
                         push(tokens, Token::Op(op));
                         i += 1;
                     } else {

@@ -73,7 +73,10 @@ impl Parser {
     }
 
     fn bump(&mut self) -> Token {
-        let t = self.tokens[self.pos].token.clone();
+        // Take the token out of its slot instead of cloning it — the
+        // cursor never moves backwards, so the slot is never re-read
+        // (the final slot stays `Eof` either way).
+        let t = std::mem::replace(&mut self.tokens[self.pos].token, Token::Eof);
         if self.pos + 1 < self.tokens.len() {
             self.pos += 1;
         }

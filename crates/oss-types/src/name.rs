@@ -129,6 +129,62 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
     prev[a.len()]
 }
 
+/// Levenshtein distance when it is at most `bound`, `None` otherwise.
+///
+/// A length pre-check rejects pairs whose length difference already
+/// exceeds the bound without touching the DP at all (every insertion or
+/// deletion changes the length by one, so `|len(a) − len(b)|` is a lower
+/// bound on the distance). The DP itself is *banded*: a cell `(i, j)`
+/// with `|i − j| > bound` can only be reached by drifting more than
+/// `bound` insertions/deletions off the diagonal, so its true value
+/// exceeds the bound and the band outside is treated as unreachable.
+/// When every cell of a row exceeds the bound the scan stops early —
+/// typosquat censuses compare thousands of campaign names against
+/// popular targets they share no prefix with, and almost all of them
+/// exit on the first row or two.
+///
+/// Agrees with [`levenshtein`] on every pair within the bound
+/// (property-tested in this module).
+pub fn levenshtein_bounded(a: &str, b: &str, bound: usize) -> Option<usize> {
+    let (a, b) = if a.len() < b.len() { (a, b) } else { (b, a) };
+    let a = a.as_bytes();
+    let b = b.as_bytes();
+    if b.len() - a.len() > bound {
+        return None;
+    }
+    if a.is_empty() {
+        return Some(b.len()); // ≤ bound by the length pre-check
+    }
+    // Cells outside the band hold this sentinel: large enough to never
+    // win a `min`, small enough that `+ 1` cannot overflow.
+    let unreachable = usize::MAX / 2;
+    let mut prev: Vec<usize> = (0..=a.len())
+        .map(|i| if i <= bound { i } else { unreachable })
+        .collect();
+    let mut cur = vec![unreachable; a.len() + 1];
+    for (j, &bj) in b.iter().enumerate() {
+        cur.iter_mut().for_each(|c| *c = unreachable);
+        let lo = (j + 1).saturating_sub(bound);
+        let hi = (j + 1 + bound).min(a.len());
+        if lo == 0 {
+            cur[0] = j + 1;
+        }
+        let mut row_min = if lo == 0 { cur[0] } else { unreachable };
+        for i in lo.max(1)..=hi {
+            let cost = usize::from(a[i - 1] != bj);
+            let value = (prev[i - 1] + cost).min(prev[i] + 1).min(cur[i - 1] + 1);
+            cur[i] = value;
+            row_min = row_min.min(value);
+        }
+        if row_min > bound {
+            return None; // the whole band already exceeds the bound
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let distance = prev[a.len()];
+    (distance <= bound).then_some(distance)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +217,31 @@ mod tests {
         assert_eq!(levenshtein("kitten", "sitting"), 3);
         assert_eq!(levenshtein("requests", "request"), 1);
         assert_eq!(levenshtein("colors", "colorslib"), 3);
+    }
+
+    #[test]
+    fn bounded_levenshtein_basics() {
+        assert_eq!(levenshtein_bounded("", "", 2), Some(0));
+        assert_eq!(levenshtein_bounded("requests", "request", 2), Some(1));
+        assert_eq!(levenshtein_bounded("reqests", "requests", 2), Some(1));
+        assert_eq!(levenshtein_bounded("kitten", "sitting", 2), None);
+        assert_eq!(levenshtein_bounded("kitten", "sitting", 3), Some(3));
+        // Length difference alone exceeds the bound: pruned before the DP.
+        assert_eq!(levenshtein_bounded("abc", "abcdefgh", 2), None);
+        assert_eq!(levenshtein_bounded("colors", "colorslib", 2), None);
+    }
+
+    #[test]
+    fn bounded_levenshtein_is_symmetric() {
+        for (a, b) in [("pylibsql", "pylibfont"), ("flask", "flask2"), ("a", "abc")] {
+            for bound in 0..4 {
+                assert_eq!(
+                    levenshtein_bounded(a, b, bound),
+                    levenshtein_bounded(b, a, bound),
+                    "{a} vs {b} at bound {bound}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Property-based tests for the domain types.
 
 use oss_types::hash::Sha256Hasher;
+use oss_types::name::{levenshtein, levenshtein_bounded};
 use oss_types::{ChangeOp, OpSet, PackageId, Sha256, SimDuration, SimTime, Version};
 use proptest::prelude::*;
 
@@ -72,6 +73,45 @@ proptest! {
         }
         let collected: Vec<ChangeOp> = set.iter().collect();
         prop_assert_eq!(collected.len(), set.len());
+    }
+
+    #[test]
+    fn bounded_levenshtein_agrees_with_naive(
+        a in "[a-z0-9._-]{0,12}",
+        b in "[a-z0-9._-]{0,12}",
+        bound in 0usize..4,
+    ) {
+        let exact = levenshtein(&a, &b);
+        let banded = levenshtein_bounded(&a, &b, bound);
+        if exact <= bound {
+            prop_assert_eq!(banded, Some(exact));
+        } else {
+            prop_assert_eq!(banded, None);
+        }
+    }
+
+    #[test]
+    fn bounded_levenshtein_close_pairs_round_trip(
+        base in "[a-z]{2,10}",
+        edit in 0usize..3,
+        pos in 0usize..10,
+    ) {
+        // Mutate `base` by at most two single-character edits and check
+        // the census bound (2) finds the exact distance.
+        let mut s: Vec<u8> = base.clone().into_bytes();
+        for step in 0..edit {
+            let p = (pos + step) % s.len().max(1);
+            match step % 3 {
+                0 => s[p] = if s[p] == b'z' { b'a' } else { s[p] + 1 },
+                1 => s.insert(p, b'x'),
+                _ => { s.remove(p.min(s.len() - 1)); }
+            }
+        }
+        let mutated = String::from_utf8(s).unwrap();
+        let exact = levenshtein(&base, &mutated);
+        prop_assert!(exact <= 2 * edit);
+        prop_assert_eq!(levenshtein_bounded(&base, &mutated, 2),
+                        (exact <= 2).then_some(exact));
     }
 
     #[test]

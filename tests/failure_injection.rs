@@ -267,7 +267,7 @@ fn duplicate_package_in_imported_report_does_not_panic_the_builder() {
     let corpus = import_json(manifest).expect("manifest parses");
     let graph = build(&corpus, &BuildOptions::default());
     // The duplicated listing still yields exactly one coexisting pair.
-    let coexisting: Vec<_> = graph.groups(Relation::Coexisting);
+    let coexisting = graph.groups(Relation::Coexisting);
     assert_eq!(coexisting.len(), 1);
     assert_eq!(coexisting[0].len(), 2);
 }

@@ -115,7 +115,7 @@ fn coexisting_groups_recover_reported_campaigns() {
     // Every CG group should be dominated by one ground-truth campaign
     // cluster (reports chain packages of the same campaign group).
     let mut dominated = 0usize;
-    for group in &cg {
+    for group in cg {
         let mut counts: std::collections::HashMap<u32, usize> = Default::default();
         for &node in group {
             let id = &graph.graph.node(node).package;
