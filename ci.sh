@@ -72,4 +72,18 @@ cargo test -q -p malgraph-bench --test analysis_equivalence
 echo "== analyze_bench --quick"
 cargo run --release -q -p malgraph-bench --bin analyze_bench -- --quick
 
+# The incremental-ingestion gates (PR 8), run explicitly for the same
+# reason:
+#  * ingest_equivalence — a graph grown window by window through
+#    apply_delta reproduces every analysis section byte-identically to a
+#    one-shot build over the union (serial on extended caches, 7-thread
+#    on cold ones), and the ingest.* invalidation counters match the
+#    cache matrix exactly;
+#  * ingest_bench --quick — the same node-for-node/edge-for-edge identity
+#    asserted on a fresh release-mode run before any speedup is written.
+echo "== cargo test -q -p malgraph-bench --test ingest_equivalence"
+cargo test -q -p malgraph-bench --test ingest_equivalence
+echo "== ingest_bench --quick"
+cargo run --release -q -p malgraph-bench --bin ingest_bench -- --quick
+
 echo "CI OK"

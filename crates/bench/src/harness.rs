@@ -112,6 +112,32 @@ impl Repro {
         }
     }
 
+    /// Assembles a context from parts prepared elsewhere — the ingest
+    /// equivalence suite and `ingest_bench` wire an incrementally grown
+    /// graph (`MalGraph::apply_delta` over corpus deltas) into the same
+    /// analysis sections the one-shot context runs, so the two paths can
+    /// be compared byte for byte.
+    pub fn from_parts(
+        world: World,
+        dataset: CollectedDataset,
+        graph: MalGraph,
+        mode: AnalyzeMode,
+    ) -> Repro {
+        let zero = std::time::Duration::ZERO;
+        Repro {
+            world,
+            dataset,
+            graph,
+            timings: StageTimings {
+                world: zero,
+                collect: zero,
+                build: zero,
+                similarity: zero,
+            },
+            mode,
+        }
+    }
+
     /// Runs one experiment or extension section by id and returns its
     /// report.
     ///

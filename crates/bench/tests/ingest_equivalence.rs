@@ -1,0 +1,181 @@
+//! Byte-identity gate for the incremental ingestion path (ISSUE 8).
+//!
+//! The oracle is a one-shot [`build`] over the union corpus, analysed by
+//! the serial [`AnalyzeMode::Uncached`] harness. A graph grown window by
+//! window through [`MalGraph::apply_delta`] must reproduce every section
+//! of every experiment and extension **byte for byte** — serial on a
+//! context whose Duplicated caches were *extended* across windows, and
+//! fanned out over 7 worker threads on a context whose caches are all
+//! first-touched concurrently. Any divergence means a cache survived a
+//! delta it should not have, or the delta emission drifted from the
+//! one-shot stage order.
+//!
+//! The suite also pins the invalidation accounting: every drop/extension
+//! of a PR7 cache increments an `ingest.*` counter, so a stale-cache
+//! regression (a cache silently *kept* where the matrix says drop) shows
+//! up as a counter mismatch even before it corrupts a section.
+
+use crawler::{collect, partition_windows, union_dataset, CorpusDelta};
+use malgraph_bench::{AnalyzeMode, Repro, EXPERIMENTS, EXTENSIONS};
+use malgraph_core::{build, BuildOptions, IngestState, MalGraph, Relation};
+use registry_sim::{WindowPlan, World, WorldConfig};
+use std::collections::HashMap;
+
+/// Small but structurally complete world: all relations are populated
+/// and every section renders non-trivial rows at this scale.
+const SEED: u64 = 5;
+const SCALE: f64 = 0.05;
+const WINDOWS: usize = 4;
+
+fn world() -> World {
+    let config = WorldConfig {
+        seed: SEED,
+        ..WorldConfig::default()
+    }
+    .with_scale(SCALE);
+    World::generate(config)
+}
+
+fn deltas() -> Vec<CorpusDelta> {
+    let world = world();
+    let dataset = collect(&world);
+    let plan = WindowPlan::disclosure_quantiles(&world, WINDOWS);
+    partition_windows(&dataset, &plan)
+}
+
+fn all_ids() -> Vec<&'static str> {
+    EXPERIMENTS.iter().chain(EXTENSIONS.iter()).copied().collect()
+}
+
+fn counters() -> HashMap<String, u64> {
+    obs::snapshot().counters.into_iter().collect()
+}
+
+/// `counter[name]` growth between two snapshots.
+fn grew(before: &HashMap<String, u64>, after: &HashMap<String, u64>, name: &str) -> u64 {
+    after.get(name).copied().unwrap_or(0) - before.get(name).copied().unwrap_or(0)
+}
+
+fn assert_sections_equal(reference: &[String], candidate: &[String], ids: &[&str], label: &str) {
+    assert_eq!(reference.len(), candidate.len());
+    for ((id, expected), got) in ids.iter().zip(reference).zip(candidate) {
+        assert_eq!(
+            got, expected,
+            "{label}: section `{id}` diverged from the one-shot reference"
+        );
+    }
+}
+
+#[test]
+fn windowed_ingest_reproduces_the_one_shot_analysis() {
+    obs::enable();
+    let ids = all_ids();
+    let deltas = deltas();
+    let union = union_dataset(&deltas);
+    let options = BuildOptions::default();
+
+    // Oracle: one-shot build over the union, analysed uncached + serial.
+    let oracle = Repro::from_parts(
+        world(),
+        union.clone(),
+        build(&union, &options),
+        AnalyzeMode::Uncached,
+    );
+    let reference = oracle.run_all(&ids, 1);
+
+    // Candidate A: ingest window by window, *forcing* every lazy cache
+    // between deltas so the next `apply_delta` must extend or drop a
+    // populated cache (the hard case — a fresh context never exercises
+    // the invalidation matrix at all). The counter deltas pin the
+    // matrix: 3 non-Duplicated component indexes, 3 adjacency CSRs, the
+    // stats table and the analysis index dropped per subsequent window;
+    // the Duplicated component index and CSR extended in place.
+    let mut graph = MalGraph::empty();
+    let mut state = IngestState::new();
+    let before = counters();
+    for delta in &deltas {
+        graph.apply_delta(delta, &options, &mut state);
+        for relation in Relation::ALL {
+            let _ = graph.groups(relation);
+            let _ = graph.adjacency(relation);
+            let _ = graph.relation_stats(relation);
+        }
+        let _ = graph.analysis_index(state.dataset());
+    }
+    let after = counters();
+    let invalidating = (WINDOWS - 1) as u64;
+    assert_eq!(grew(&before, &after, "ingest.windows"), WINDOWS as u64);
+    assert_eq!(
+        grew(&before, &after, "ingest.invalidated{cache=components}"),
+        3 * invalidating
+    );
+    assert_eq!(
+        grew(&before, &after, "ingest.invalidated{cache=adjacency}"),
+        3 * invalidating
+    );
+    assert_eq!(grew(&before, &after, "ingest.invalidated{cache=stats}"), invalidating);
+    assert_eq!(grew(&before, &after, "ingest.invalidated{cache=analysis}"), invalidating);
+    assert_eq!(grew(&before, &after, "ingest.extended{cache=components}"), invalidating);
+    assert_eq!(grew(&before, &after, "ingest.extended{cache=adjacency}"), invalidating);
+
+    // The ingested corpus is the union, byte for byte.
+    assert_eq!(state.dataset().packages, union.packages);
+    assert_eq!(state.dataset().reports, union.reports);
+
+    // Serial pass over candidate A: its Duplicated component index and
+    // CSR are the *extended* instances, everything else rebuilt lazily.
+    let ingested = Repro::from_parts(world(), state.dataset().clone(), graph, AnalyzeMode::Indexed);
+    let serial = ingested.run_all(&ids, 1);
+    assert_sections_equal(&reference, &serial, &ids, "ingested/1-thread");
+
+    // Candidate B: a second incremental context left cold (no queries
+    // between windows), analysed at 7 threads so the shared caches are
+    // first-touched concurrently.
+    let mut graph = MalGraph::empty();
+    let mut state = IngestState::new();
+    for delta in &deltas {
+        graph.apply_delta(delta, &options, &mut state);
+    }
+    let cold = Repro::from_parts(world(), state.dataset().clone(), graph, AnalyzeMode::Indexed);
+    let parallel = cold.run_all(&ids, 7);
+    assert_sections_equal(&reference, &parallel, &ids, "ingested/7-thread");
+
+    // Warm rerun on the extended-cache context must also be stable.
+    let warm = ingested.run_all(&ids, 7);
+    assert_sections_equal(&reference, &warm, &ids, "ingested/warm-rerun");
+}
+
+#[test]
+fn sandbox_cache_entries_stay_valid_as_the_corpus_grows() {
+    // The one cache the invalidation matrix leaves untouched: sandbox
+    // verdicts are keyed by source content, so entries cached in an
+    // early window must still answer for the grown corpus. Replay every
+    // window's archives through one long-lived cache and compare each
+    // verdict against a fresh uncached sandbox.
+    let sandbox = detector::DynamicDetector::default();
+    let mut cache = detector::SandboxCache::default();
+    let mut archives = 0usize;
+    for delta in deltas() {
+        for package in &delta.packages {
+            if let Some(archive) = &package.archive {
+                archives += 1;
+                let cached = cache.run(&archive.code).verdict.labels.clone();
+                assert_eq!(
+                    cached,
+                    sandbox.analyze_source(&archive.code).labels,
+                    "stale sandbox verdict for {} after growing the corpus",
+                    package.id
+                );
+            }
+        }
+        // Deduplication across windows keeps the cache strictly smaller
+        // than the archive census — re-released code hits old entries.
+        assert!(cache.len() <= archives);
+    }
+    assert!(archives > 0, "corpus has no recovered archives at this scale");
+    assert!(
+        cache.len() < archives,
+        "campaign re-releases should deduplicate ({} entries / {archives} archives)",
+        cache.len()
+    );
+}

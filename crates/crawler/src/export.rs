@@ -516,6 +516,35 @@ mod tests {
     }
 
     #[test]
+    fn reexport_is_byte_exact_including_health() {
+        // export → import → export must reproduce the original document
+        // byte for byte: every field (including the optional "health"
+        // manifest key) survives in the same order, so re-exported
+        // corpora diff cleanly against their source. (ISSUE 8 satellite.)
+        let world = World::generate(WorldConfig::small(101));
+        let clean = collect(&world);
+        let faulty = crate::dataset::collect_with(
+            &world,
+            &crate::dataset::CollectOptions {
+                faults: oss_types::FaultConfig::mixed(0.4),
+                ..Default::default()
+            },
+        );
+        assert!(faulty.health.is_some(), "fixture must exercise the health key");
+        for dataset in [&clean, &faulty] {
+            for fidelity in [ExportFidelity::Full, ExportFidelity::ManifestOnly] {
+                let first = export_json(dataset, fidelity).unwrap();
+                let reexported = export_json(&import_json(&first).unwrap(), fidelity).unwrap();
+                assert_eq!(
+                    first, reexported,
+                    "re-export diverged (fidelity {fidelity:?}, health {})",
+                    dataset.health.is_some()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn sha256_parsing() {
         let d = Sha256::digest(b"x");
         assert_eq!(parse_sha256(&d.to_string()).unwrap(), d);

@@ -18,7 +18,10 @@
 //!   input of the MALGRAPH builder; [`collect`] is the zero-fault fast
 //!   path, [`collect_with`] the resilient collector;
 //! * [`export`] — corpus serialization (the paper's dataset-transparency
-//!   website: names + signatures public, archives on request).
+//!   website: names + signatures public, archives on request);
+//! * [`windows`] — windowed collection: one deterministic crawl
+//!   partitioned into [`CorpusDelta`]s by a `registry_sim::WindowPlan`,
+//!   feeding the incremental graph builder.
 //!
 //! # Examples
 //!
@@ -44,10 +47,12 @@ pub mod recover;
 pub mod registry;
 pub mod sources;
 pub mod transport;
+pub mod windows;
 
 pub use dataset::{
     collect, collect_with, CollectOptions, CollectedDataset, CollectedPackage, CollectedReport,
 };
+pub use windows::{collect_windows, partition_windows, union_dataset, CorpusDelta};
 pub use export::{export_json, import_json, ExportFidelity};
 pub use registry::{IndexedRegistry, RegistryMeta, RegistryView};
 pub use sources::{Archive, RawMention};

@@ -50,8 +50,29 @@ pub fn to_dot<N, L: Copy + Eq>(
     out
 }
 
+/// Escapes a label for use inside a double-quoted DOT string. Besides
+/// backslash and quote, every C0 control character must be neutralised:
+/// a raw newline in a label terminates the quoted string early and the
+/// rest of the name is reparsed as DOT syntax. `\n`/`\r`/`\t` keep their
+/// readable escapes (DOT understands `\n` as a line break in labels);
+/// the remaining controls have no DOT escape and are rendered as
+/// visible `\xNN` hex placeholders.
 fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\\\x{:02x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -91,8 +112,20 @@ mod tests {
     fn labels_are_escaped() {
         let mut g: PropertyGraph<&str, &str> = PropertyGraph::new();
         g.add_node("with \"quotes\"");
+        g.add_node("line\nbreak\ttab\rcr");
+        g.add_node("bell\u{0007}and\u{001b}escape");
         let dot = to_dot(&g, None, |_, n| n.to_string(), |l| l.to_string());
         assert!(dot.contains("\\\"quotes\\\""));
+        // Control characters must never reach the output raw: a literal
+        // newline inside label="…" terminates the quoted string early.
+        assert!(dot.contains("line\\nbreak\\ttab\\rcr"));
+        assert!(dot.contains("bell\\\\x07and\\\\x1bescape"));
+        for line in dot.lines() {
+            assert!(
+                line.chars().all(|c| c == ' ' || !c.is_control()),
+                "raw control character leaked into DOT line {line:?}"
+            );
+        }
     }
 
     #[test]

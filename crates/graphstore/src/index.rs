@@ -22,8 +22,14 @@
 //!   traversal queries only ever run over sparse labels.
 //!
 //! Both indexes are snapshots: they do **not** observe later mutations
-//! of the graph. Build them after construction is complete (the MALGRAPH
-//! builder finishes all five edge stages before any analysis runs).
+//! of the graph on their own. A cache owner has two choices after the
+//! graph changes: drop the index and rebuild on next use, or — when the
+//! change is strictly *append-only for the indexed label* (new nodes
+//! whose label edges stay among themselves, as with the duplicate
+//! cliques of the incremental ingestion path) — carry the snapshot
+//! forward with [`ComponentIndex::extend`] / [`AdjacencyIndex::extend`],
+//! which replay only the appended suffix and are byte-identical to a
+//! fresh build by construction.
 
 use crate::stats::RelationStats;
 use crate::{unionfind, NodeId, PropertyGraph};
@@ -31,7 +37,11 @@ use crate::{unionfind, NodeId, PropertyGraph};
 /// Marker for "not in any component of this label".
 const NO_GROUP: u32 = u32::MAX;
 
-/// Immutable per-label component index.
+/// Per-label component index.
+///
+/// Logically immutable for queries; [`ComponentIndex::extend`] is the
+/// one mutation, retained union-find state makes it pay only for the
+/// appended node suffix.
 #[derive(Debug, Clone)]
 pub struct ComponentIndex {
     components: Vec<Vec<NodeId>>,
@@ -42,6 +52,11 @@ pub struct ComponentIndex {
     nodes: usize,
     /// Directed edges of the label.
     edges: usize,
+    /// The union-find forest the components were collected from, kept
+    /// so [`ComponentIndex::extend`] can resume the union sequence
+    /// instead of replaying the full edge list.
+    uf: unionfind::UnionFind,
+    touched: Vec<bool>,
 }
 
 /// The per-label accumulator state of [`ComponentIndex::build_many`].
@@ -49,6 +64,33 @@ struct Builder {
     uf: unionfind::UnionFind,
     touched: Vec<bool>,
     edges: usize,
+}
+
+/// Collects the touched nodes of `uf` into components keyed by their
+/// root (ascending), mirroring [`PropertyGraph::components`]'s
+/// root-keyed `BTreeMap` collection so the result is byte-identical to
+/// a fresh computation over the same union sequence.
+fn collect_components(
+    uf: &mut unionfind::UnionFind,
+    touched: &[bool],
+) -> (Vec<Vec<NodeId>>, Vec<u32>, usize) {
+    let mut by_root: std::collections::BTreeMap<usize, Vec<NodeId>> =
+        std::collections::BTreeMap::new();
+    for (i, &is_touched) in touched.iter().enumerate() {
+        if is_touched {
+            by_root.entry(uf.find(i)).or_default().push(NodeId::from_index(i));
+        }
+    }
+    let components: Vec<Vec<NodeId>> = by_root.into_values().collect();
+    let mut group_of = vec![NO_GROUP; touched.len()];
+    let mut nodes = 0usize;
+    for (g, comp) in components.iter().enumerate() {
+        nodes += comp.len();
+        for &member in comp {
+            group_of[member.index()] = u32::try_from(g).expect("graph too large");
+        }
+    }
+    (components, group_of, nodes)
 }
 
 impl Builder {
@@ -68,30 +110,14 @@ impl Builder {
     }
 
     fn finish(mut self) -> ComponentIndex {
-        let mut by_root: std::collections::BTreeMap<usize, Vec<NodeId>> =
-            std::collections::BTreeMap::new();
-        for (i, &is_touched) in self.touched.iter().enumerate() {
-            if is_touched {
-                by_root
-                    .entry(self.uf.find(i))
-                    .or_default()
-                    .push(NodeId::from_index(i));
-            }
-        }
-        let components: Vec<Vec<NodeId>> = by_root.into_values().collect();
-        let mut group_of = vec![NO_GROUP; self.touched.len()];
-        let mut nodes = 0usize;
-        for (g, comp) in components.iter().enumerate() {
-            nodes += comp.len();
-            for &member in comp {
-                group_of[member.index()] = u32::try_from(g).expect("graph too large");
-            }
-        }
+        let (components, group_of, nodes) = collect_components(&mut self.uf, &self.touched);
         ComponentIndex {
             components,
             group_of,
             nodes,
             edges: self.edges,
+            uf: self.uf,
+            touched: self.touched,
         }
     }
 }
@@ -142,6 +168,61 @@ impl ComponentIndex {
             }
         }
         builders.into_iter().map(Builder::finish).collect()
+    }
+
+    /// Extends the index over nodes appended to the graph since it was
+    /// built: every label edge incident to a node index `>= from` is
+    /// replayed into the retained union-find, and the component
+    /// collection is redone from the grown forest.
+    ///
+    /// `from` must be the node count the index was built (or last
+    /// extended) at. The caller must guarantee the *append-only*
+    /// contract for this label: no label edge touching a node `< from`
+    /// was added, removed, or reordered since then. Under that contract
+    /// the union sequence seen by the forest is "old sequence, then the
+    /// suffix in node order" — exactly what [`ComponentIndex::build`]
+    /// performs on the final graph, where appended nodes sort after all
+    /// old node ids — so the extended index is byte-identical to a
+    /// fresh build (union-by-size roots depend only on the union
+    /// sequence; path halving never changes a root).
+    pub fn extend<N, L: Copy + Eq>(
+        &mut self,
+        graph: &PropertyGraph<N, L>,
+        mut filter: impl FnMut(&L) -> bool,
+        from: usize,
+    ) {
+        let n = graph.node_count();
+        assert_eq!(
+            from,
+            self.uf.len(),
+            "extend must resume at the node count the index was built at"
+        );
+        self.uf.grow(n);
+        self.touched.resize(n, false);
+        for id in graph.node_ids().skip(from) {
+            for &(to, ref label) in graph.out_edges(id) {
+                if filter(label) {
+                    debug_assert!(
+                        to.index() >= from,
+                        "append-only contract violated: new label edge reaches old node"
+                    );
+                    self.uf.union(id.index(), to.index());
+                    self.touched[id.index()] = true;
+                    self.touched[to.index()] = true;
+                    self.edges += 1;
+                }
+            }
+        }
+        let (components, group_of, nodes) = collect_components(&mut self.uf, &self.touched);
+        self.components = components;
+        self.group_of = group_of;
+        self.nodes = nodes;
+    }
+
+    /// The node count the index was built (or last extended) at — the
+    /// `from` a subsequent [`ComponentIndex::extend`] must resume from.
+    pub fn node_watermark(&self) -> usize {
+        self.uf.len()
     }
 
     /// The connected components, identical to what
@@ -224,6 +305,41 @@ impl AdjacencyIndex {
             offsets.push(u32::try_from(targets.len()).expect("graph too large"));
         }
         AdjacencyIndex { offsets, targets }
+    }
+
+    /// Appends CSR rows for nodes added to the graph since the snapshot
+    /// was built. `from` must be the node count the snapshot covers
+    /// (`offsets.len() - 1`), and the caller must guarantee the
+    /// append-only contract for this label: the out-adjacency of every
+    /// node `< from` is unchanged, so the old rows stay valid and only
+    /// the suffix rows need materialising. The result is byte-identical
+    /// to a fresh [`AdjacencyIndex::build`] over the final graph.
+    pub fn extend<N, L: Copy + Eq>(
+        &mut self,
+        graph: &PropertyGraph<N, L>,
+        mut filter: impl FnMut(&L) -> bool,
+        from: usize,
+    ) {
+        assert_eq!(
+            from,
+            self.offsets.len() - 1,
+            "extend must resume at the node count the snapshot was built at"
+        );
+        for id in graph.node_ids().skip(from) {
+            for &(to, ref label) in graph.out_edges(id) {
+                if filter(label) {
+                    self.targets.push(to);
+                }
+            }
+            self.offsets
+                .push(u32::try_from(self.targets.len()).expect("graph too large"));
+        }
+    }
+
+    /// The node count the snapshot covers — the `from` a subsequent
+    /// [`AdjacencyIndex::extend`] must resume from.
+    pub fn node_watermark(&self) -> usize {
+        self.offsets.len() - 1
     }
 
     /// Label-filtered out-neighbours of `node`, from the CSR snapshot.
@@ -349,6 +465,47 @@ mod tests {
             .map(|&(to, _)| to)
             .collect();
         assert_eq!(index.neighbors(ids[1]), &expected[..]);
+    }
+
+    #[test]
+    fn extend_matches_fresh_build_after_append_only_growth() {
+        let (mut g, ids) = sample();
+        let mut index = ComponentIndex::build(&g, |l| *l == Rel::Dup);
+        let mut adjacency = AdjacencyIndex::build(&g, |l| *l == Rel::Dup);
+        let before = g.node_count();
+        // Append a clique of new nodes plus a non-label edge to an old
+        // node: Dup stays append-only, Dep may do anything.
+        let a = g.add_node(10);
+        let b = g.add_node(11);
+        let c = g.add_node(12);
+        g.add_undirected_edge(a, b, Rel::Dup);
+        g.add_undirected_edge(b, c, Rel::Dup);
+        g.add_undirected_edge(a, c, Rel::Dup);
+        g.add_edge(c, ids[0], Rel::Dep);
+        index.extend(&g, |l| *l == Rel::Dup, before);
+        adjacency.extend(&g, |l| *l == Rel::Dup, before);
+        let fresh = ComponentIndex::build(&g, |l| *l == Rel::Dup);
+        assert_eq!(index.components(), fresh.components());
+        assert_eq!(index.node_count(), fresh.node_count());
+        assert_eq!(index.edge_count(), fresh.edge_count());
+        assert_eq!(index.stats(), fresh.stats());
+        for id in g.node_ids() {
+            assert_eq!(index.component_of(id), fresh.component_of(id));
+        }
+        let fresh_adj = AdjacencyIndex::build(&g, |l| *l == Rel::Dup);
+        for id in g.node_ids() {
+            assert_eq!(adjacency.neighbors(id), fresh_adj.neighbors(id));
+            assert_eq!(adjacency.reachable(id), fresh_adj.reachable(id));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must resume at the node count")]
+    fn extend_from_wrong_watermark_panics() {
+        let (mut g, _) = sample();
+        let mut index = ComponentIndex::build(&g, |l| *l == Rel::Dup);
+        g.add_node(9);
+        index.extend(&g, |l| *l == Rel::Dup, 2);
     }
 
     #[test]

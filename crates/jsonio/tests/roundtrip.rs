@@ -1,0 +1,90 @@
+//! Property tests for string round-tripping (ISSUE 8 satellite).
+//!
+//! The corpus exporter writes package names, code archives, and report
+//! titles straight through [`jsonio::Value::Str`]; if any Unicode scalar
+//! — in particular the C0 controls U+0000–U+001F, which RFC 8259 §7
+//! forbids raw inside strings — failed to round-trip, an exported corpus
+//! would either be rejected on import or silently alter package
+//! identities. These properties pin `parse(write(s)) == s` for arbitrary
+//! strings under both printers, plus the escape forms the parser must
+//! reject.
+
+use jsonio::Value;
+use proptest::prelude::*;
+
+/// Strings biased towards the troublesome ranges: C0 controls, the
+/// escape-relevant ASCII characters, surrogate-adjacent scalars, and
+/// astral-plane characters that encode as `\uXXXX` surrogate pairs.
+fn tricky_string() -> impl Strategy<Value = String> {
+    let tricky_char = prop_oneof![
+        (0u32..0x20).prop_map(|c| char::from_u32(c).unwrap()),
+        Just('"'),
+        Just('\\'),
+        Just('/'),
+        // Scalars adjacent to the surrogate range (which `char` itself
+        // can never hold) and astral-plane characters.
+        Just('\u{D7FF}'),
+        Just('\u{E000}'),
+        Just('\u{FFFD}'),
+        Just('🦀'),
+        // The vendored proptest has no `Arbitrary for char`; draw any
+        // scalar value by code point, mapping the surrogate gap away.
+        (0u32..0x11_0000).prop_map(|n| char::from_u32(n).unwrap_or('\u{FFFD}')),
+    ];
+    proptest::collection::vec(tricky_char, 0..64).prop_map(|cs| cs.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn strings_round_trip_compact_and_pretty(s in tricky_string()) {
+        let value = Value::Str(s.clone());
+        for rendered in [value.to_compact(), value.to_pretty()] {
+            // The writer must emit escapes for every control character;
+            // a raw C0 byte in the output would be rejected on parse.
+            prop_assert!(
+                !rendered.chars().any(|c| (c as u32) < 0x20),
+                "raw control character in rendered JSON: {rendered:?}"
+            );
+            let back = Value::parse(&rendered)
+                .map_err(|e| TestCaseError::fail(format!("{e} in {rendered:?}")))?;
+            prop_assert_eq!(back.as_str(), Some(s.as_str()));
+        }
+    }
+
+    #[test]
+    fn strings_survive_nesting_in_documents(key in tricky_string(), s in tricky_string()) {
+        let doc = Value::Object(vec![
+            (key.clone(), Value::Array(vec![Value::Str(s.clone()), Value::Null])),
+        ]);
+        for rendered in [doc.to_compact(), doc.to_pretty()] {
+            let back = Value::parse(&rendered)
+                .map_err(|e| TestCaseError::fail(format!("{e} in {rendered:?}")))?;
+            prop_assert_eq!(&back, &doc);
+        }
+    }
+
+    #[test]
+    fn control_chars_are_emitted_as_escapes(c in 0u32..0x20) {
+        let c = char::from_u32(c).unwrap();
+        let rendered = Value::Str(c.to_string()).to_compact();
+        let expected = match c {
+            '\n' => "\"\\n\"".to_string(),
+            '\r' => "\"\\r\"".to_string(),
+            '\t' => "\"\\t\"".to_string(),
+            '\u{0008}' => "\"\\b\"".to_string(),
+            '\u{000C}' => "\"\\f\"".to_string(),
+            c => format!("\"\\u{:04x}\"", c as u32),
+        };
+        prop_assert_eq!(rendered, expected);
+    }
+
+    #[test]
+    fn lone_surrogate_escapes_are_rejected(n in 0xD800u32..0xE000) {
+        // A `\uXXXX` escape naming a surrogate is only valid as half of
+        // a correctly ordered pair; on its own it must not parse.
+        let doc = format!("\"\\u{n:04x}\"");
+        prop_assert!(Value::parse(&doc).is_err(), "{doc} should be rejected");
+    }
+}

@@ -3,12 +3,12 @@
 use crate::analysis::index::AnalysisIndex;
 use crate::node::{MalNode, Relation};
 use crate::similarity::{similar_pairs, SimilarityConfig, SimilarityOutput};
-use crawler::CollectedDataset;
+use crawler::{CollectedDataset, CollectedPackage, CollectedReport};
 use graphstore::index::{AdjacencyIndex, ComponentIndex};
 use graphstore::{NodeId, PropertyGraph};
 use oss_types::{Ecosystem, PackageId};
 use std::collections::{HashMap, HashSet};
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Options of the graph builder.
 #[derive(Debug, Clone, Default)]
@@ -27,32 +27,44 @@ pub struct BuildOptions {
 pub struct MalGraph {
     /// The underlying property graph.
     pub graph: PropertyGraph<MalNode, Relation>,
-    primary: HashMap<PackageId, NodeId>,
+    pub(crate) primary: HashMap<PackageId, NodeId>,
     /// Similarity diagnostics per ecosystem (chosen k, schedule trace).
-    pub similarity_diagnostics: Vec<(Ecosystem, SimilarityOutput)>,
+    /// `Arc` so the incremental ingestion path can share one output
+    /// between its per-ecosystem memo and the graph without deep-copying
+    /// millions of pairs every window.
+    pub similarity_diagnostics: Vec<(Ecosystem, Arc<SimilarityOutput>)>,
     /// Lazily-built per-relation component indexes, in [`Relation::ALL`]
     /// order — all built in one adjacency traversal on the first
     /// component query (the similarity relation alone carries tens of
     /// millions of directed edges, so the traversal, not the union-find,
-    /// dominates). The graph is immutable once built (the builder
-    /// returns it by value and no `&mut` accessor is exposed), so a
-    /// snapshot taken at first query stays valid for the graph's
-    /// lifetime.
-    indexes: OnceLock<Vec<ComponentIndex>>,
+    /// dominates). The graph is immutable between queries — the one
+    /// mutation path, [`MalGraph::apply_delta`], holds `&mut self` and
+    /// explicitly invalidates (or incrementally extends) every snapshot
+    /// before queries resume — so a snapshot taken at first query stays
+    /// valid until the next delta.
+    pub(crate) indexes: OnceLock<Vec<ComponentIndex>>,
+    /// A Duplicated component index carried across deltas: the
+    /// duplicated relation is append-only under ingestion (cliques stay
+    /// within one package's nodes), so instead of discarding its index
+    /// with the rest, [`MalGraph::apply_delta`] extends it in place and
+    /// parks it here for the next [`MalGraph::component_index`] build to
+    /// re-adopt. Behind a `Mutex` because the re-adoption happens inside
+    /// the `OnceLock` initialiser, which runs under `&self`.
+    pub(crate) dup_carry: Mutex<Option<ComponentIndex>>,
     /// Lazily-built per-relation CSR adjacency snapshots, in
     /// [`Relation::ALL`] order. Built per relation on demand — only the
     /// sparse co-existing relation is ever traversed, and materialising
     /// the similarity CSR would cost hundreds of megabytes.
-    adjacency: [OnceLock<AdjacencyIndex>; Relation::ALL.len()],
+    pub(crate) adjacency: [OnceLock<AdjacencyIndex>; Relation::ALL.len()],
     /// Lazily-computed Table-II statistics, in [`Relation::ALL`] order,
     /// gathered for all relations in a single edge scan.
-    stats: OnceLock<Vec<graphstore::stats::RelationStats>>,
+    pub(crate) stats: OnceLock<Vec<graphstore::stats::RelationStats>>,
     /// Lazily-built corpus lookup structures shared by the RQ passes.
-    analysis: OnceLock<AnalysisIndex>,
+    pub(crate) analysis: OnceLock<AnalysisIndex>,
 }
 
 /// Position of `relation` in [`Relation::ALL`].
-fn relation_slot(relation: Relation) -> usize {
+pub(crate) fn relation_slot(relation: Relation) -> usize {
     Relation::ALL
         .iter()
         .position(|r| *r == relation)
@@ -74,12 +86,33 @@ impl MalGraph {
     /// builds the indexes of *all* relations in a single adjacency
     /// traversal ([`ComponentIndex::build_many`]); `OnceLock` serialises
     /// concurrent first queries, so the parallel analysis harness shares
-    /// one snapshot per relation.
+    /// one snapshot per relation. A Duplicated index parked by
+    /// [`MalGraph::apply_delta`] is re-adopted instead of rebuilt — the
+    /// incremental extension is byte-identical to a fresh build.
     pub fn component_index(&self, relation: Relation) -> &ComponentIndex {
         let indexes = self.indexes.get_or_init(|| {
             let _span = obs::span!("analysis/index/components");
-            obs::counter_add("analysis.index_builds", Relation::ALL.len() as u64);
-            let indexes = ComponentIndex::build_many(&self.graph, &Relation::ALL);
+            let mut carried = self.dup_carry.lock().expect("carry lock poisoned").take();
+            let fresh: Vec<Relation> = Relation::ALL
+                .iter()
+                .copied()
+                .filter(|r| carried.is_none() || *r != Relation::Duplicated)
+                .collect();
+            obs::counter_add("analysis.index_builds", fresh.len() as u64);
+            if carried.is_some() {
+                obs::counter_add("analysis.index_carried", 1);
+            }
+            let mut built = ComponentIndex::build_many(&self.graph, &fresh).into_iter();
+            let indexes: Vec<ComponentIndex> = Relation::ALL
+                .iter()
+                .map(|r| {
+                    if *r == Relation::Duplicated && carried.is_some() {
+                        carried.take().expect("checked above")
+                    } else {
+                        built.next().expect("one fresh index per remaining relation")
+                    }
+                })
+                .collect();
             for index in &indexes {
                 obs::counter_add("analysis.indexed_components", index.components().len() as u64);
             }
@@ -128,31 +161,34 @@ impl MalGraph {
     pub fn analysis_index(&self, dataset: &CollectedDataset) -> &AnalysisIndex {
         self.analysis.get_or_init(|| AnalysisIndex::new(dataset))
     }
+
+    /// A graph with no nodes and no edges — the starting point of the
+    /// incremental ingestion path ([`MalGraph::apply_delta`]).
+    pub fn empty() -> MalGraph {
+        MalGraph {
+            graph: PropertyGraph::new(),
+            primary: HashMap::new(),
+            similarity_diagnostics: Vec::new(),
+            indexes: OnceLock::new(),
+            dup_carry: Mutex::new(None),
+            adjacency: Default::default(),
+            stats: OnceLock::new(),
+            analysis: OnceLock::new(),
+        }
+    }
 }
 
-/// Builds MALGRAPH from a collected corpus.
-///
-/// The construction (paper §III-A):
-/// 1. one node per package/source mention; the first mention is the
-///    package's *primary* node;
-/// 2. **duplicated** edges: clique over the nodes of the same package
-///    (same artifact signature, or name+version when unavailable);
-/// 3. **dependency** edges: metadata dependencies pointing at another
-///    *malicious* package of the corpus (legitimate dependencies are
-///    dropped);
-/// 4. **similar** edges: the AST→embedding→K-Means pipeline per
-///    ecosystem, over available packages;
-/// 5. **co-existing** edges: clique over the packages named by the same
-///    security report.
-pub fn build(dataset: &CollectedDataset, options: &BuildOptions) -> MalGraph {
-    let _build_span = obs::span!("build");
-    let mut graph: PropertyGraph<MalNode, Relation> = PropertyGraph::new();
-    let mut primary: HashMap<PackageId, NodeId> = HashMap::new();
-
-    // 1. One node per package/source mention.
-    let stage = obs::span!("build/nodes");
-    let mut nodes_by_pkg: Vec<Vec<NodeId>> = Vec::with_capacity(dataset.packages.len());
-    for pkg in &dataset.packages {
+/// Stage 1: one node per package/source mention for each package of
+/// `packages`, appended in order; the first mention is the package's
+/// *primary* node. Shared by the one-shot builder (all packages) and
+/// the incremental path (the delta's suffix).
+pub(crate) fn emit_package_nodes(
+    graph: &mut PropertyGraph<MalNode, Relation>,
+    primary: &mut HashMap<PackageId, NodeId>,
+    nodes_by_pkg: &mut Vec<Vec<NodeId>>,
+    packages: &[CollectedPackage],
+) {
+    for pkg in packages {
         let mut nodes_of_pkg: Vec<NodeId> = Vec::new();
         for (i, &(source, disclosed)) in pkg.mentions.iter().enumerate() {
             let node = graph.add_node(MalNode {
@@ -170,14 +206,16 @@ pub fn build(dataset: &CollectedDataset, options: &BuildOptions) -> MalGraph {
         }
         nodes_by_pkg.push(nodes_of_pkg);
     }
-    obs::counter_add("build.nodes", graph.node_count() as u64);
-    obs::counter_add("build.packages", primary.len() as u64);
-    drop(stage);
+}
 
-    // 2. Duplicated cliques over the nodes of each package.
-    let stage = obs::span!("build/duplicated");
+/// Stage 2: duplicated cliques over the nodes of each package. Returns
+/// the number of (undirected) edges added.
+pub(crate) fn emit_duplicated_edges(
+    graph: &mut PropertyGraph<MalNode, Relation>,
+    nodes_by_pkg: &[Vec<NodeId>],
+) -> u64 {
     let mut duplicated_edges = 0u64;
-    for nodes_of_pkg in &nodes_by_pkg {
+    for nodes_of_pkg in nodes_by_pkg {
         for a in 0..nodes_of_pkg.len() {
             for b in (a + 1)..nodes_of_pkg.len() {
                 graph.add_undirected_edge(nodes_of_pkg[a], nodes_of_pkg[b], Relation::Duplicated);
@@ -185,13 +223,18 @@ pub fn build(dataset: &CollectedDataset, options: &BuildOptions) -> MalGraph {
             }
         }
     }
-    obs::counter_add("build.edges_added{relation=duplicated}", duplicated_edges);
-    drop(stage);
+    duplicated_edges
+}
 
-    // 3. Dependency edges between malicious packages.
-    let stage = obs::span!("build/dependency");
+/// Stage 3: dependency edges between malicious packages of the corpus
+/// (legitimate dependencies are dropped). Returns the edge count.
+pub(crate) fn emit_dependency_edges(
+    graph: &mut PropertyGraph<MalNode, Relation>,
+    primary: &HashMap<PackageId, NodeId>,
+    packages: &[CollectedPackage],
+) -> u64 {
     let mut by_name: HashMap<(Ecosystem, &str), Vec<&PackageId>> = HashMap::new();
-    for pkg in &dataset.packages {
+    for pkg in packages {
         by_name
             .entry((pkg.id.ecosystem(), pkg.id.name().as_str()))
             .or_default()
@@ -202,7 +245,7 @@ pub fn build(dataset: &CollectedDataset, options: &BuildOptions) -> MalGraph {
     // large reports. A local seen-pair set gives the same dedup in O(1).
     let mut seen_dependency: HashSet<(NodeId, NodeId)> = HashSet::new();
     let mut dependency_edges = 0u64;
-    for pkg in &dataset.packages {
+    for pkg in packages {
         let Some(archive) = &pkg.archive else {
             continue;
         };
@@ -223,19 +266,21 @@ pub fn build(dataset: &CollectedDataset, options: &BuildOptions) -> MalGraph {
             }
         }
     }
-    obs::counter_add("build.edges_added{relation=dependency}", dependency_edges);
-    drop(stage);
+    dependency_edges
+}
 
-    // 4. Similar edges per ecosystem. The per-ecosystem pipelines are
-    // independent, so they run concurrently; joining and applying edges
-    // in `Ecosystem::ALL` order keeps the graph deterministic regardless
-    // of which pipeline finishes first.
-    let stage = obs::span!("build/similar");
-    let jobs: Vec<(Ecosystem, Vec<(PackageId, &str)>)> = Ecosystem::ALL
+/// Stage 4 (inputs): the per-ecosystem similarity jobs — `(ecosystem,
+/// entries)` in `Ecosystem::ALL` order, ecosystems with fewer than two
+/// available packages dropped. Entries are corpus-ordered, so under
+/// append-only corpus growth a job's entry list only ever gains a
+/// suffix — an unchanged length implies an unchanged list.
+pub(crate) fn similarity_jobs(
+    packages: &[CollectedPackage],
+) -> Vec<(Ecosystem, Vec<(PackageId, &str)>)> {
+    Ecosystem::ALL
         .iter()
         .map(|&eco| {
-            let entries: Vec<(PackageId, &str)> = dataset
-                .packages
+            let entries: Vec<(PackageId, &str)> = packages
                 .iter()
                 .filter(|p| p.id.ecosystem() == eco)
                 .filter_map(|p| p.archive.as_ref().map(|a| (p.id.clone(), a.code.as_str())))
@@ -243,47 +288,49 @@ pub fn build(dataset: &CollectedDataset, options: &BuildOptions) -> MalGraph {
             (eco, entries)
         })
         .filter(|(_, entries)| entries.len() >= 2)
-        .collect();
-    let outputs: Vec<SimilarityOutput> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .iter()
-            .map(|&(eco, ref entries)| {
-                let similarity = &options.similarity;
-                scope.spawn(move |_| {
-                    let _span = obs::span!("build/similar/ecosystem={}", eco.display_name());
-                    similar_pairs(entries, similarity)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("similarity worker must not panic"))
-            .collect()
-    })
-    .expect("crossbeam scope");
+        .collect()
+}
+
+/// Stage 4 (apply): turns per-job similarity outputs into similar edges
+/// (in job order, so the graph does not depend on which pipeline
+/// finished first) and assembles the diagnostics. Returns them with the
+/// edge count.
+pub(crate) fn apply_similarity_outputs(
+    graph: &mut PropertyGraph<MalNode, Relation>,
+    primary: &HashMap<PackageId, NodeId>,
+    jobs: &[(Ecosystem, Vec<(PackageId, &str)>)],
+    outputs: Vec<Arc<SimilarityOutput>>,
+) -> (Vec<(Ecosystem, Arc<SimilarityOutput>)>, u64) {
     let mut similarity_diagnostics = Vec::new();
     let mut similar_edges = 0u64;
     for ((eco, entries), out) in jobs.iter().zip(outputs) {
-        for &(a, b) in &out.pairs {
-            let na = primary[&entries[a].0];
-            let nb = primary[&entries[b].0];
-            graph.add_undirected_edge(na, nb, Relation::Similar);
-            similar_edges += 1;
-        }
+        // One primary lookup per entry instead of two per pair: the
+        // similar relation carries millions of pairs per ecosystem, and
+        // string-keyed `PackageId` hashing dominated this stage.
+        let nodes: Vec<NodeId> = entries.iter().map(|(id, _)| primary[id]).collect();
+        graph.add_undirected_edges(
+            out.pairs.iter().map(|&(a, b)| (nodes[a], nodes[b])),
+            Relation::Similar,
+        );
+        similar_edges += out.pairs.len() as u64;
         similarity_diagnostics.push((*eco, out));
     }
-    obs::counter_add("build.edges_added{relation=similar}", similar_edges);
-    drop(stage);
+    (similarity_diagnostics, similar_edges)
+}
 
-    // 5. Co-existing cliques per report. Externally produced corpora can
-    // name the same package twice in one report; deduping here keeps the
-    // clique irreflexive (`add_undirected_edge` asserts a ≠ b) for both
-    // `collect` and `import_json` inputs. Cross-report repeats are
-    // deduped by the seen-pair set, replacing the `has_edge` linear scan.
-    let stage = obs::span!("build/coexisting");
+/// Stage 5: co-existing cliques per report. Externally produced corpora
+/// can name the same package twice in one report; deduping here keeps
+/// the clique irreflexive (`add_undirected_edge` asserts a ≠ b) for
+/// both `collect` and `import_json` inputs. Cross-report repeats are
+/// deduped by the seen-pair set, replacing the `has_edge` linear scan.
+pub(crate) fn emit_coexisting_edges(
+    graph: &mut PropertyGraph<MalNode, Relation>,
+    primary: &HashMap<PackageId, NodeId>,
+    reports: &[CollectedReport],
+) -> u64 {
     let mut seen_coexisting: HashSet<(NodeId, NodeId)> = HashSet::new();
     let mut coexisting_edges = 0u64;
-    for report in &dataset.reports {
+    for report in reports {
         let mut in_report: HashSet<NodeId> = HashSet::new();
         let nodes: Vec<NodeId> = report
             .packages
@@ -301,6 +348,84 @@ pub fn build(dataset: &CollectedDataset, options: &BuildOptions) -> MalGraph {
             }
         }
     }
+    coexisting_edges
+}
+
+/// Builds MALGRAPH from a collected corpus.
+///
+/// The construction (paper §III-A):
+/// 1. one node per package/source mention; the first mention is the
+///    package's *primary* node;
+/// 2. **duplicated** edges: clique over the nodes of the same package
+///    (same artifact signature, or name+version when unavailable);
+/// 3. **dependency** edges: metadata dependencies pointing at another
+///    *malicious* package of the corpus (legitimate dependencies are
+///    dropped);
+/// 4. **similar** edges: the AST→embedding→K-Means pipeline per
+///    ecosystem, over available packages;
+/// 5. **co-existing** edges: clique over the packages named by the same
+///    security report.
+///
+/// The stage bodies are shared with the incremental path
+/// ([`MalGraph::apply_delta`]), which re-emits every edge stage over the
+/// grown corpus in this exact order — that sharing, not a test, is what
+/// makes the two paths structurally incapable of diverging.
+pub fn build(dataset: &CollectedDataset, options: &BuildOptions) -> MalGraph {
+    let _build_span = obs::span!("build");
+    let mut graph: PropertyGraph<MalNode, Relation> = PropertyGraph::new();
+    let mut primary: HashMap<PackageId, NodeId> = HashMap::new();
+
+    // 1. One node per package/source mention.
+    let stage = obs::span!("build/nodes");
+    let mut nodes_by_pkg: Vec<Vec<NodeId>> = Vec::with_capacity(dataset.packages.len());
+    emit_package_nodes(&mut graph, &mut primary, &mut nodes_by_pkg, &dataset.packages);
+    obs::counter_add("build.nodes", graph.node_count() as u64);
+    obs::counter_add("build.packages", primary.len() as u64);
+    drop(stage);
+
+    // 2. Duplicated cliques over the nodes of each package.
+    let stage = obs::span!("build/duplicated");
+    let duplicated_edges = emit_duplicated_edges(&mut graph, &nodes_by_pkg);
+    obs::counter_add("build.edges_added{relation=duplicated}", duplicated_edges);
+    drop(stage);
+
+    // 3. Dependency edges between malicious packages.
+    let stage = obs::span!("build/dependency");
+    let dependency_edges = emit_dependency_edges(&mut graph, &primary, &dataset.packages);
+    obs::counter_add("build.edges_added{relation=dependency}", dependency_edges);
+    drop(stage);
+
+    // 4. Similar edges per ecosystem. The per-ecosystem pipelines are
+    // independent, so they run concurrently; joining and applying edges
+    // in `Ecosystem::ALL` order keeps the graph deterministic regardless
+    // of which pipeline finishes first.
+    let stage = obs::span!("build/similar");
+    let jobs = similarity_jobs(&dataset.packages);
+    let outputs: Vec<Arc<SimilarityOutput>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|&(eco, ref entries)| {
+                let similarity = &options.similarity;
+                scope.spawn(move |_| {
+                    let _span = obs::span!("build/similar/ecosystem={}", eco.display_name());
+                    similar_pairs(entries, similarity)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| Arc::new(h.join().expect("similarity worker must not panic")))
+            .collect()
+    })
+    .expect("crossbeam scope");
+    let (similarity_diagnostics, similar_edges) =
+        apply_similarity_outputs(&mut graph, &primary, &jobs, outputs);
+    obs::counter_add("build.edges_added{relation=similar}", similar_edges);
+    drop(stage);
+
+    // 5. Co-existing cliques per report.
+    let stage = obs::span!("build/coexisting");
+    let coexisting_edges = emit_coexisting_edges(&mut graph, &primary, &dataset.reports);
     obs::counter_add("build.edges_added{relation=coexisting}", coexisting_edges);
     drop(stage);
 
@@ -309,6 +434,7 @@ pub fn build(dataset: &CollectedDataset, options: &BuildOptions) -> MalGraph {
         primary,
         similarity_diagnostics,
         indexes: OnceLock::new(),
+        dup_carry: Mutex::new(None),
         adjacency: Default::default(),
         stats: OnceLock::new(),
         analysis: OnceLock::new(),

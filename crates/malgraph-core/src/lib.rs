@@ -31,12 +31,14 @@
 
 pub mod analysis;
 pub mod build;
+pub mod ingest;
 pub mod node;
 pub mod similarity;
 
 pub use build::{build, BuildOptions, MalGraph};
+pub use ingest::IngestState;
 pub use node::{MalNode, Relation};
-pub use similarity::{similar_pairs, SimilarityConfig};
+pub use similarity::{similar_pairs, similar_pairs_cached, SimilarityCache, SimilarityConfig};
 
 use graphstore::NodeId;
 

@@ -16,12 +16,56 @@
 //! Future parallelism must keep both properties: work may be *scheduled*
 //! freely, but results must be *combined* in an order derived from the
 //! input alone.
+//!
+//! # The cached pipeline
+//!
+//! [`similar_pairs_cached`] is the incremental-ingestion entry point:
+//! same inputs, same output — asserted bitwise-identical to
+//! [`similar_pairs`], which stays untouched as the oracle (the
+//! `AnalyzeMode::Uncached` pattern) — but it carries a
+//! [`SimilarityCache`] across corpus deltas:
+//!
+//! * **embedding memo** — parse + embed runs once per package ever
+//!   seen; a re-run after a 10% corpus delta embeds only the new
+//!   packages, and the pipeline borrows the memoised vectors instead of
+//!   cloning them per window. Sound because package code is immutable
+//!   once collected and `embed_sparse_into` output is independent of
+//!   buffer history (the same property the chunked fan-out already
+//!   relies on).
+//! * **source interning** — the embedding is a pure function of the
+//!   source text, so a never-seen package whose code is byte-identical
+//!   to an already-embedded one (flood campaigns republish the same
+//!   artifact under hundreds of names) skips parse + embed entirely;
+//!   the memo stores the exact source for the equality check, so a hash
+//!   collision cannot conflate distinct code.
+//! * **distinct-content interning** — each embedding is interned
+//!   against every vector ever seen (hash-bucketed with exact bit
+//!   comparison), so packages with bitwise-identical embeddings share
+//!   one persistent *vid* and one canonical stored vector across
+//!   windows.
+//! * **collapsed refinement** — within a cluster, every member of a vid
+//!   shares the same row bytes, so the screen + dot verdict is computed
+//!   once per oriented pair of *distinct contents* instead of once per
+//!   member pair (a flood cluster holds thousands of copies of a few
+//!   artifacts, collapsing the O(|c|²) walk to O(G²)); orientations
+//!   whose nested-loop emission range is provably empty are skipped
+//!   outright. A cross-window decision memo was tried and reverted: at
+//!   the observed ~55% hit rate the hash-map traffic on a multi-million
+//!   entry table costs more than the O(dim) screens it saves.
+//!
+//! The K-Means schedule is *not* cached: clustering is a global
+//! property of the grown corpus, and a warm-start from the previous
+//! window's centroids would change the bits. It runs identically in
+//! both paths.
 
-use cluster::{kmeans_points, kmeans_warm_points, KMeansConfig, Kernel, Points};
+use cluster::{kmeans_points, kmeans_warm_points, KMeansConfig, KMeansResult, Kernel, Points};
 use embed::{EmbedBuffer, Embedder, SparseEmbedding};
 use oss_types::PackageId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 /// Tuning knobs for the similarity pipeline.
 #[derive(Debug, Clone)]
@@ -95,6 +139,118 @@ pub struct SimilarityOutput {
     pub trace: Vec<(usize, f32)>,
 }
 
+/// Persistent state [`similar_pairs_cached`] carries across corpus
+/// deltas:
+///
+/// * the per-package embedding memo, stored as an interned vid (`None`
+///   records a parse failure, so broken code is not re-parsed every
+///   window either);
+/// * the source interner: byte-identical code maps to its memoised
+///   verdict without being parsed or embedded at all;
+/// * the distinct-content interner: packages whose embeddings are
+///   bitwise identical share one persistent vid and one canonical
+///   stored vector.
+///
+/// Sound because a collected package's code is immutable (the memo is
+/// keyed by [`PackageId`] and never invalidated, only extended) and
+/// the embedding is a pure function of the source text and `dim` (one
+/// config per cache — the ingestion pipeline never varies the config
+/// mid-stream).
+#[derive(Debug, Default)]
+pub struct SimilarityCache {
+    /// PackageId → interned vid of its embedding; `None` records a
+    /// parse failure.
+    embedded: HashMap<PackageId, Option<u32>>,
+    /// vid → canonical embedding (one owned copy per distinct content,
+    /// however many packages carry it).
+    reps: Vec<SparseEmbedding>,
+    /// Embedding-content hash → vids carrying that hash.
+    intern: HashMap<u64, Vec<u32>>,
+    /// Source-text hash → `(exact source, verdict)` bucket: the stored
+    /// source makes the lookup an exact byte comparison.
+    sources: HashMap<u64, Vec<(String, Option<u32>)>>,
+}
+
+impl SimilarityCache {
+    /// An empty cache.
+    pub fn new() -> SimilarityCache {
+        SimilarityCache::default()
+    }
+
+    /// Number of memoised packages (including parse failures).
+    pub fn len(&self) -> usize {
+        self.embedded.len()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.embedded.is_empty()
+    }
+
+    /// Interns a vector's content, returning its persistent vid.
+    fn intern_vid(&mut self, vector: &SparseEmbedding) -> u32 {
+        let bucket = self.intern.entry(content_hash(vector)).or_default();
+        match bucket
+            .iter()
+            .copied()
+            .find(|&v| content_equal(&self.reps[v as usize], vector))
+        {
+            Some(v) => v,
+            None => {
+                let v = u32::try_from(self.reps.len()).expect("corpus too large");
+                self.reps.push(vector.clone());
+                bucket.push(v);
+                v
+            }
+        }
+    }
+
+    /// Looks up a never-seen package's source text; a byte-exact match
+    /// serves the memoised verdict without parsing.
+    fn source_verdict(&self, code: &str) -> Option<Option<u32>> {
+        self.sources
+            .get(&source_hash(code))?
+            .iter()
+            .find(|(s, _)| s == code)
+            .map(|(_, verdict)| *verdict)
+    }
+
+    /// Records a freshly computed verdict under its source text.
+    fn intern_source(&mut self, code: &str, verdict: Option<u32>) {
+        let bucket = self.sources.entry(source_hash(code)).or_default();
+        if !bucket.iter().any(|(s, _)| s == code) {
+            bucket.push((code.to_string(), verdict));
+        }
+    }
+}
+
+/// Hash of a vector's exact content (indices plus value bits).
+fn content_hash(vector: &SparseEmbedding) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    vector.indices().hash(&mut hasher);
+    for &x in vector.values() {
+        x.to_bits().hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
+/// Bitwise content equality of two sparse vectors.
+fn content_equal(a: &SparseEmbedding, b: &SparseEmbedding) -> bool {
+    a.indices() == b.indices()
+        && a.values().len() == b.values().len()
+        && a.values()
+            .iter()
+            .zip(b.values())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Hash of a package's source text, bucketing the source interner.
+fn source_hash(code: &str) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    code.hash(&mut hasher);
+    hasher.finish()
+}
+
 /// Resolves a configured worker count (`0` = `available_parallelism`),
 /// never exceeding the number of work items.
 fn resolve_threads(requested: usize, items: usize) -> usize {
@@ -108,19 +264,19 @@ fn resolve_threads(requested: usize, items: usize) -> usize {
     threads.clamp(1, items.max(1))
 }
 
-/// Runs the pipeline over `(package, code)` entries belonging to one
-/// ecosystem. Unparseable code is skipped (it can never join a group,
-/// exactly like a package the Packj extractor chokes on).
-pub fn similar_pairs(
+/// Phase 1: parse + embed — embarrassingly parallel, fanned out across
+/// cores with crossbeam scoped threads. Each worker reuses one
+/// `EmbedBuffer` across its whole chunk (no per-module `dim`-sized
+/// allocation) and emits *sparse* embeddings — a feature-hashed module
+/// touches a few hundred of `dim` buckets, so the batch costs
+/// O(features) memory per module instead of O(dim).
+///
+/// Returns the embedded vectors plus `owners` (the entry index each
+/// vector came from, ascending). Unparseable entries are skipped.
+fn embed_entries(
     entries: &[(PackageId, &str)],
     config: &SimilarityConfig,
-) -> SimilarityOutput {
-    // 1. Parse + embed — embarrassingly parallel, fanned out across
-    // cores with crossbeam scoped threads. Each worker reuses one
-    // `EmbedBuffer` across its whole chunk (no per-module `dim`-sized
-    // allocation) and emits *sparse* embeddings — a feature-hashed
-    // module touches a few hundred of `dim` buckets, so the batch costs
-    // O(features) memory per module instead of O(dim).
+) -> (Vec<SparseEmbedding>, Vec<usize>) {
     let phase = obs::span!("similarity/embed");
     obs::counter_add("similarity.entries", entries.len() as u64);
     let embedder = Embedder::new(config.dim);
@@ -157,27 +313,101 @@ pub fn similar_pairs(
     }
     obs::counter_add("similarity.parse_failures", (entries.len() - vectors.len()) as u64);
     drop(phase);
-    if vectors.len() < 2 {
-        return SimilarityOutput {
-            pairs: Vec::new(),
-            chosen_k: 0,
-            trace: Vec::new(),
-        };
-    }
-    // One `Points` build per call: dense SoA matrix + CSR view + (lazy)
-    // quantized companion, shared by every K-Means run of the schedule
-    // and by the refinement screen.
-    let rows: Vec<(&[u32], &[f32])> = vectors
-        .iter()
-        .map(|v| (v.indices(), v.values()))
-        .collect();
-    let points = Points::from_sparse_rows(config.dim, &rows);
+    (vectors, owners)
+}
 
-    // 2. Grow-k K-Means (paper §III-A: start at 3, grow until stable).
-    // Each step warm-starts from the previous step's centroids and
-    // k-means++-seeds only the `next_k - k` new ones, so the schedule
-    // pays incremental refinement instead of a full re-convergence at
-    // every k.
+/// Phase 1, memoised: parses and embeds only source text the cache has
+/// never seen. Never-seen *packages* whose code is byte-identical to a
+/// memoised source (or to an earlier entry in this same batch) are
+/// served the interned verdict without being parsed; the remaining true
+/// misses are fanned out in miss-list order and merged by index, then
+/// both their embedding content and their source are interned. The
+/// caller assembles `(vectors, owners)` from the memo by reference — no
+/// per-window clone of the whole corpus.
+fn embed_misses(
+    entries: &[(PackageId, &str)],
+    config: &SimilarityConfig,
+    cache: &mut SimilarityCache,
+) {
+    // Triage: memoised id → done; memoised source → copy the verdict;
+    // repeated in-batch source → defer to the first occurrence.
+    let mut misses: Vec<usize> = Vec::new();
+    let mut dup_of: Vec<(usize, usize)> = Vec::new();
+    let mut pending: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut id_hits = 0u64;
+    let mut source_hits = 0u64;
+    for (i, (id, code)) in entries.iter().enumerate() {
+        if cache.embedded.contains_key(id) {
+            id_hits += 1;
+            continue;
+        }
+        if let Some(verdict) = cache.source_verdict(code) {
+            cache.embedded.insert(id.clone(), verdict);
+            source_hits += 1;
+            continue;
+        }
+        let bucket = pending.entry(source_hash(code)).or_default();
+        match bucket.iter().copied().find(|&m| entries[misses[m]].1 == *code) {
+            Some(m) => {
+                dup_of.push((i, m));
+                source_hits += 1;
+            }
+            None => {
+                bucket.push(misses.len());
+                misses.push(i);
+            }
+        }
+    }
+    obs::counter_add("similarity.embed_cache_hits", id_hits);
+    obs::counter_add("similarity.embed_source_hits", source_hits);
+    obs::counter_add("similarity.embed_cache_misses", misses.len() as u64);
+    if misses.is_empty() {
+        return;
+    }
+    let embedder = Embedder::new(config.dim);
+    let threads = resolve_threads(config.threads, misses.len());
+    let chunk_size = misses.len().div_ceil(threads.max(1)).max(1);
+    let embedded: Vec<(usize, Option<SparseEmbedding>)> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk in misses.chunks(chunk_size) {
+            let embedder = &embedder;
+            handles.push(scope.spawn(move |_| {
+                let mut buf = EmbedBuffer::new();
+                let mut out = Vec::with_capacity(chunk.len());
+                for &i in chunk {
+                    let vector = minilang::parse(entries[i].1)
+                        .ok()
+                        .map(|module| embedder.embed_sparse_into(&module, &mut buf));
+                    out.push((i, vector));
+                }
+                out
+            }));
+        }
+        let mut all = Vec::with_capacity(misses.len());
+        for handle in handles {
+            all.extend(handle.join().expect("embed worker must not panic"));
+        }
+        all
+    })
+    .expect("crossbeam scope");
+    let mut verdicts: Vec<Option<u32>> = Vec::with_capacity(misses.len());
+    for (i, vector) in embedded {
+        let verdict = vector.as_ref().map(|v| cache.intern_vid(v));
+        cache.embedded.insert(entries[i].0.clone(), verdict);
+        cache.intern_source(entries[i].1, verdict);
+        verdicts.push(verdict);
+    }
+    for (i, m) in dup_of {
+        cache.embedded.insert(entries[i].0.clone(), verdicts[m]);
+    }
+}
+
+/// Phase 2: grow-k K-Means (paper §III-A: start at 3, grow until
+/// stable). Each step warm-starts from the previous step's centroids
+/// and k-means++-seeds only the `next_k - k` new ones, so the schedule
+/// pays incremental refinement instead of a full re-convergence at
+/// every k.
+fn run_schedule(points: &Points, config: &SimilarityConfig) -> (KMeansResult, Vec<(usize, f32)>) {
     let phase = obs::span!("similarity/schedule");
     let mut rng = StdRng::seed_from_u64(config.seed);
     let kconfig = KMeansConfig {
@@ -186,12 +416,12 @@ pub fn similar_pairs(
         ..KMeansConfig::default()
     };
     let mut k = 3usize.min(points.n());
-    let mut best = kmeans_points(&points, k, &kconfig, &mut rng);
+    let mut best = kmeans_points(points, k, &kconfig, &mut rng);
     let mut trace = vec![(k, best.inertia)];
     let max_k = config.max_k.min(points.n());
     while k < max_k {
         let next_k = (((k as f64) * config.growth) as usize).max(k + 1).min(max_k);
-        let next = kmeans_warm_points(&points, &best.centroids, next_k - k, &kconfig, &mut rng);
+        let next = kmeans_warm_points(points, &best.centroids, next_k - k, &kconfig, &mut rng);
         trace.push((next_k, next.inertia));
         let improvement = if best.inertia <= f32::EPSILON {
             0.0
@@ -206,27 +436,13 @@ pub fn similar_pairs(
     }
     obs::counter_add("similarity.schedule_steps", trace.len() as u64);
     drop(phase);
+    (best, trace)
+}
 
-    // 3. Cosine-refined pairs within each cluster. The big clusters
-    // (floods) dominate this O(|c|²) step. Workers are bounded by
-    // the configured thread count (not one thread per cluster) and
-    // clusters are distributed largest-first onto the least-loaded
-    // worker, so one flood cluster cannot serialize the tail. Embedder
-    // outputs are L2-normalized, so the similarity is a single sparse
-    // dot product — and with the quantized kernel, most pairs never pay
-    // even that: the certified i8 upper bound proves them `< threshold`
-    // first (survivors are rescored exactly, so the pair set is bitwise
-    // identical — see `cluster::matrix`). The screen is only sound for
-    // `threshold > -1`: at `threshold ≤ -1` the exact path's clamp to
-    // `-1` could lift a provably-small dot back over the threshold.
-    // Determinism: each worker tags its output with the cluster index and
-    // the merge flattens in cluster-index order, so the pair list does
-    // not depend on the worker count or scheduling.
-    let phase = obs::span!("similarity/refine");
-    let clusters = best.clusters();
-    let quant = (config.kernel == Kernel::TiledQuantized && config.threshold > -1.0)
-        .then(|| points.quant());
-    let threads = resolve_threads(config.threads, clusters.len());
+/// Distributes clusters largest-first onto the least-loaded of
+/// `threads` buckets (LPT on the pair count), so one flood cluster
+/// cannot serialize the tail.
+fn lpt_buckets(clusters: &[Vec<usize>], threads: usize) -> Vec<Vec<usize>> {
     let mut order: Vec<usize> = (0..clusters.len()).collect();
     order.sort_by_key(|&c| std::cmp::Reverse(clusters[c].len()));
     let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); threads];
@@ -237,6 +453,34 @@ pub fn similar_pairs(
         loads[w] += size * size.saturating_sub(1) / 2;
         buckets[w].push(c);
     }
+    buckets
+}
+
+/// Phase 3: cosine-refined pairs within each cluster. The big clusters
+/// (floods) dominate this O(|c|²) step. Workers are bounded by the
+/// configured thread count (not one thread per cluster) and clusters
+/// are distributed largest-first onto the least-loaded worker. Embedder
+/// outputs are L2-normalized, so the similarity is a single sparse dot
+/// product — and with the quantized kernel, most pairs never pay even
+/// that: the certified i8 upper bound proves them `< threshold` first
+/// (survivors are rescored exactly, so the pair set is bitwise
+/// identical — see `cluster::matrix`). The screen is only sound for
+/// `threshold > -1`: at `threshold ≤ -1` the exact path's clamp to `-1`
+/// could lift a provably-small dot back over the threshold.
+/// Determinism: each worker tags its output with the cluster index and
+/// the merge flattens in cluster-index order, so the pair list does not
+/// depend on the worker count or scheduling.
+fn refine_pairs(
+    points: &Points,
+    clusters: &[Vec<usize>],
+    owners: &[usize],
+    config: &SimilarityConfig,
+) -> Vec<(usize, usize)> {
+    let phase = obs::span!("similarity/refine");
+    let quant = (config.kernel == Kernel::TiledQuantized && config.threshold > -1.0)
+        .then(|| points.quant());
+    let threads = resolve_threads(config.threads, clusters.len());
+    let buckets = lpt_buckets(clusters, threads);
     // Pair lists a worker produces, tagged with their cluster index,
     // plus the worker's screen tallies.
     type TaggedPairs = (Vec<(usize, Vec<(usize, usize)>)>, u64, u64);
@@ -245,9 +489,6 @@ pub fn similar_pairs(
         let handles: Vec<_> = buckets
             .iter()
             .map(|bucket| {
-                let clusters = &clusters;
-                let points = &points;
-                let owners = &owners;
                 scope.spawn(move |_| {
                     let threshold = f64::from(config.threshold);
                     let (matrix, sparse) = (points.matrix(), points.sparse());
@@ -320,6 +561,254 @@ pub fn similar_pairs(
     obs::counter_add("kernel.pruned_quantized", pruned_total);
     obs::counter_add("kernel.rescored", rescored_total);
     drop(phase);
+    pairs
+}
+
+/// Groups a cluster's member positions by vid, in first-appearance
+/// order; each group holds ascending member positions sharing one
+/// distinct vector content.
+fn group_by_vid(members: &[usize], vid_of: &[u32]) -> Vec<Vec<usize>> {
+    let mut group_of: HashMap<u32, usize> = HashMap::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (pos, &m) in members.iter().enumerate() {
+        let v = vid_of[m];
+        let g = *group_of.entry(v).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[g].push(pos);
+    }
+    groups
+}
+
+/// Phase 3, collapsed: bitwise the same pair list as [`refine_pairs`],
+/// paying each screen + dot once per *oriented pair of distinct vector
+/// contents* within a cluster instead of once per member pair.
+///
+/// Soundness: the decision for `(ia, ib)` is a pure function of the
+/// bytes of rows `ia` and `ib` (quant scales, l1/norm terms and the
+/// dots are all row-content-derived), so every member pair with the
+/// same `(vid_from, vid_to)` orientation shares its representative's
+/// decision exactly. Orientation is preserved (the sparse·dense dot is
+/// not guaranteed bitwise-symmetric), and an orientation whose
+/// nested-loop emission range is provably empty — every position of one
+/// group precedes every position of the other — skips its decision
+/// outright, since no emitted pair could consume it. Emission replays
+/// the plain nested member walk with each pair's verdict served as a
+/// byte lookup in the per-cluster group matrix, so accepted pairs
+/// appear in exactly the original nested-loop order with no sort.
+fn refine_pairs_grouped(
+    points: &Points,
+    vid_of: &[u32],
+    clusters: &[Vec<usize>],
+    owners: &[usize],
+    config: &SimilarityConfig,
+) -> Vec<(usize, usize)> {
+    let phase = obs::span!("similarity/refine");
+    let distinct: std::collections::HashSet<u32> = vid_of.iter().copied().collect();
+    obs::counter_add("similarity.distinct_vectors", distinct.len() as u64);
+    let quant = (config.kernel == Kernel::TiledQuantized && config.threshold > -1.0)
+        .then(|| points.quant());
+    let threads = resolve_threads(config.threads, clusters.len());
+    let buckets = lpt_buckets(clusters, threads);
+    type TaggedPairs = (Vec<(usize, Vec<(usize, usize)>)>, u64, u64);
+    let mut by_cluster: Vec<Vec<(usize, usize)>> = vec![Vec::new(); clusters.len()];
+    let refined: Vec<TaggedPairs> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .iter()
+            .map(|bucket| {
+                scope.spawn(move |_| {
+                    let threshold = f64::from(config.threshold);
+                    let (matrix, sparse) = (points.matrix(), points.sparse());
+                    let mut pruned = 0u64;
+                    let mut rescored = 0u64;
+                    let mut decide = |x: usize, y: usize| -> bool {
+                        if let Some(q) = quant {
+                            if q.pair_upper_bound(x, q, y) < threshold {
+                                pruned += 1;
+                                return false;
+                            }
+                        }
+                        rescored += 1;
+                        let dot = match config.kernel {
+                            Kernel::DenseScalar => {
+                                cluster::matrix::dense_dot(matrix.row(x), matrix.row(y))
+                            }
+                            _ => {
+                                let (si, sv) = sparse.row(x);
+                                cluster::matrix::sparse_dot_dense(si, sv, matrix.row(y))
+                            }
+                        };
+                        dot.clamp(-1.0, 1.0) >= config.threshold
+                    };
+                    let tagged = bucket
+                        .iter()
+                        .map(|&c| {
+                            let members = &clusters[c];
+                            let groups = group_by_vid(members, vid_of);
+                            let g = groups.len();
+                            // Each member position's group, and the
+                            // oriented per-group decision matrix
+                            // (`1` = accept). Entries for orientations
+                            // whose emission range below is empty stay
+                            // `0` unconsulted.
+                            let mut gid: Vec<u32> = vec![0; members.len()];
+                            for (gi, pi) in groups.iter().enumerate() {
+                                for &p in pi {
+                                    gid[p] = gi as u32;
+                                }
+                            }
+                            let mut verdicts: Vec<u8> = vec![0; g * g];
+                            for gi in 0..g {
+                                let pi = &groups[gi];
+                                if pi.len() >= 2 && decide(members[pi[0]], members[pi[1]]) {
+                                    verdicts[gi * g + gi] = 1;
+                                }
+                                for gj in (gi + 1)..g {
+                                    let pj = &groups[gj];
+                                    // Orientation (vid_i → vid_j): some
+                                    // pair has its earlier position in
+                                    // pi — always, since groups are in
+                                    // first-appearance order.
+                                    debug_assert!(pi[0] < pj[0]);
+                                    if decide(members[pi[0]], members[pj[0]]) {
+                                        verdicts[gi * g + gj] = 1;
+                                    }
+                                    // Orientation (vid_j → vid_i):
+                                    // consulted only if some pi position
+                                    // follows pj's first.
+                                    if pj[0] < *pi.last().expect("groups are non-empty")
+                                        && decide(members[pj[0]], members[pi[0]])
+                                    {
+                                        verdicts[gj * g + gi] = 1;
+                                    }
+                                }
+                            }
+                            // Emission: the plain nested member walk —
+                            // already the canonical order, no sort —
+                            // with each pair's verdict a byte lookup.
+                            let mut local: Vec<(usize, usize)> = Vec::new();
+                            for a in 0..members.len() {
+                                let row = &verdicts[gid[a] as usize * g..][..g];
+                                for b in (a + 1)..members.len() {
+                                    if row[gid[b] as usize] != 0 {
+                                        local.push((owners[members[a]], owners[members[b]]));
+                                    }
+                                }
+                            }
+                            (c, local)
+                        })
+                        .collect();
+                    (tagged, pruned, rescored)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("refine worker must not panic"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+    let mut pruned_total = 0u64;
+    let mut rescored_total = 0u64;
+    for (tagged, pruned, rescored) in refined {
+        pruned_total += pruned;
+        rescored_total += rescored;
+        for (c, local) in tagged {
+            by_cluster[c] = local;
+        }
+    }
+    let pairs: Vec<(usize, usize)> = by_cluster.into_iter().flatten().collect();
+    obs::counter_add("similarity.pairs", pairs.len() as u64);
+    obs::counter_add("kernel.pruned_quantized", pruned_total);
+    obs::counter_add("kernel.rescored", rescored_total);
+    drop(phase);
+    pairs
+}
+
+/// Runs the pipeline over `(package, code)` entries belonging to one
+/// ecosystem. Unparseable code is skipped (it can never join a group,
+/// exactly like a package the Packj extractor chokes on).
+pub fn similar_pairs(
+    entries: &[(PackageId, &str)],
+    config: &SimilarityConfig,
+) -> SimilarityOutput {
+    let (vectors, owners) = embed_entries(entries, config);
+    if vectors.len() < 2 {
+        return SimilarityOutput {
+            pairs: Vec::new(),
+            chosen_k: 0,
+            trace: Vec::new(),
+        };
+    }
+    // One `Points` build per call: dense SoA matrix + CSR view + (lazy)
+    // quantized companion, shared by every K-Means run of the schedule
+    // and by the refinement screen.
+    let rows: Vec<(&[u32], &[f32])> = vectors
+        .iter()
+        .map(|v| (v.indices(), v.values()))
+        .collect();
+    let points = Points::from_sparse_rows(config.dim, &rows);
+    let (best, trace) = run_schedule(&points, config);
+    let clusters = best.clusters();
+    let pairs = refine_pairs(&points, &clusters, &owners, config);
+    SimilarityOutput {
+        pairs,
+        chosen_k: best.k(),
+        trace,
+    }
+}
+
+/// [`similar_pairs`] with a persistent [`SimilarityCache`]: the
+/// incremental-ingestion fast path. Output is bitwise-identical to
+/// [`similar_pairs`] over the same entries and config (see the
+/// module-level docs for why); the win is that only never-seen *source
+/// text* is parsed and embedded (everything else is borrowed from the
+/// memo — flood campaigns re-publish the same artifacts, so mature
+/// windows embed almost nothing), and the refinement pays its screen +
+/// dot once per oriented distinct-content pair per cluster instead of
+/// once per member pair.
+pub fn similar_pairs_cached(
+    entries: &[(PackageId, &str)],
+    config: &SimilarityConfig,
+    cache: &mut SimilarityCache,
+) -> SimilarityOutput {
+    let phase = obs::span!("similarity/embed");
+    obs::counter_add("similarity.entries", entries.len() as u64);
+    embed_misses(entries, config, cache);
+    // Assemble `(vectors, owners, vids)` in entry order by reference —
+    // bit-for-bit the rows `embed_entries` would produce.
+    let mut vectors: Vec<&SparseEmbedding> = Vec::with_capacity(entries.len());
+    let mut owners: Vec<usize> = Vec::with_capacity(entries.len());
+    let mut vid_of: Vec<u32> = Vec::with_capacity(entries.len());
+    let mut failures = 0u64;
+    for (i, (id, _)) in entries.iter().enumerate() {
+        match cache.embedded.get(id).expect("every entry was just memoised") {
+            Some(vid) => {
+                vectors.push(&cache.reps[*vid as usize]);
+                owners.push(i);
+                vid_of.push(*vid);
+            }
+            None => failures += 1,
+        }
+    }
+    obs::counter_add("similarity.parse_failures", failures);
+    drop(phase);
+    if vectors.len() < 2 {
+        return SimilarityOutput {
+            pairs: Vec::new(),
+            chosen_k: 0,
+            trace: Vec::new(),
+        };
+    }
+    let rows: Vec<(&[u32], &[f32])> = vectors
+        .iter()
+        .map(|v| (v.indices(), v.values()))
+        .collect();
+    let points = Points::from_sparse_rows(config.dim, &rows);
+    let (best, trace) = run_schedule(&points, config);
+    let clusters = best.clusters();
+    let pairs = refine_pairs_grouped(&points, &vid_of, &clusters, &owners, config);
     SimilarityOutput {
         pairs,
         chosen_k: best.k(),
@@ -454,5 +943,129 @@ mod tests {
         let c = SimilarityConfig::paper();
         assert_eq!(c.dim, 3072);
         assert_eq!(c.growth, 1.0);
+    }
+
+    /// Asserts two pipeline outputs are bitwise-identical (the inertia
+    /// trace compares by f32 bits, not approximate equality).
+    fn assert_outputs_identical(a: &SimilarityOutput, b: &SimilarityOutput, label: &str) {
+        assert_eq!(a.pairs, b.pairs, "{label}: pairs diverged");
+        assert_eq!(a.chosen_k, b.chosen_k, "{label}: chosen_k diverged");
+        assert_eq!(a.trace.len(), b.trace.len(), "{label}: trace length diverged");
+        for (x, y) in a.trace.iter().zip(&b.trace) {
+            assert_eq!(x.0, y.0, "{label}: trace k diverged");
+            assert_eq!(x.1.to_bits(), y.1.to_bits(), "{label}: trace inertia bits diverged");
+        }
+    }
+
+    #[test]
+    fn cached_pipeline_is_bitwise_identical_to_plain() {
+        // The corpus has duplicate code (mutation fires with p=0.5), so
+        // the collapsed refinement genuinely takes the grouped path.
+        let data = corpus(4, 8, 9);
+        let mut entries: Vec<(PackageId, &str)> =
+            data.iter().map(|(i, c)| (i.clone(), c.as_str())).collect();
+        let broken: PackageId = "pypi/broken@1.0.0".parse().unwrap();
+        entries.push((broken, "this is not ( valid code"));
+        for kernel in [Kernel::DenseScalar, Kernel::TiledQuantized] {
+            for threads in [1, 3] {
+                let config = SimilarityConfig {
+                    kernel,
+                    threads,
+                    ..SimilarityConfig::default()
+                };
+                let label = format!("{kernel:?}/{threads}t");
+                let plain = similar_pairs(&entries, &config);
+                let mut cache = SimilarityCache::new();
+                let cold = similar_pairs_cached(&entries, &config, &mut cache);
+                assert_outputs_identical(&plain, &cold, &format!("{label} cold"));
+                assert_eq!(cache.len(), entries.len(), "{label}: memo must cover all entries");
+                let warm = similar_pairs_cached(&entries, &config, &mut cache);
+                assert_outputs_identical(&plain, &warm, &format!("{label} warm"));
+            }
+        }
+    }
+
+    #[test]
+    fn cache_carries_across_growing_corpora() {
+        // Windowed growth: run the cached pipeline on a prefix, then on
+        // the full list with the same cache — the second run must match
+        // the plain pipeline over the full list exactly, embedding only
+        // the suffix.
+        let data = corpus(3, 6, 10);
+        let entries: Vec<(PackageId, &str)> =
+            data.iter().map(|(i, c)| (i.clone(), c.as_str())).collect();
+        let config = SimilarityConfig::default();
+        let mut cache = SimilarityCache::new();
+        let prefix = &entries[..entries.len() / 2];
+        let prefix_plain = similar_pairs(prefix, &config);
+        let prefix_cached = similar_pairs_cached(prefix, &config, &mut cache);
+        assert_outputs_identical(&prefix_plain, &prefix_cached, "prefix");
+        assert_eq!(cache.len(), prefix.len());
+        let full_plain = similar_pairs(&entries, &config);
+        let full_cached = similar_pairs_cached(&entries, &config, &mut cache);
+        assert_outputs_identical(&full_plain, &full_cached, "grown");
+        assert_eq!(cache.len(), entries.len());
+    }
+
+    #[test]
+    fn interned_vids_collapse_exact_duplicates_only() {
+        let data = corpus(2, 6, 11);
+        let entries: Vec<(PackageId, &str)> =
+            data.iter().map(|(i, c)| (i.clone(), c.as_str())).collect();
+        let config = SimilarityConfig::default();
+        let mut cache = SimilarityCache::new();
+        let _ = similar_pairs_cached(&entries, &config, &mut cache);
+        // Independent re-embedding: two entries share a vid exactly when
+        // their embeddings are bitwise equal.
+        let (vectors, owners) = embed_entries(&entries, &config);
+        assert!(cache.reps.len() <= vectors.len());
+        for (a, &ia) in owners.iter().enumerate() {
+            for (b, &ib) in owners.iter().enumerate().skip(a + 1) {
+                let va = cache.embedded[&entries[ia].0].expect("parseable");
+                let vb = cache.embedded[&entries[ib].0].expect("parseable");
+                assert_eq!(
+                    va == vb,
+                    content_equal(&vectors[a], &vectors[b]),
+                    "vid assignment wrong for {ia},{ib}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn republished_sources_are_never_reparsed() {
+        let data = corpus(3, 6, 12);
+        let entries: Vec<(PackageId, &str)> =
+            data.iter().map(|(i, c)| (i.clone(), c.as_str())).collect();
+        let config = SimilarityConfig::default();
+        let mut cache = SimilarityCache::new();
+        let _ = similar_pairs_cached(&entries, &config, &mut cache);
+        let reps_before = cache.reps.len();
+        // A flood republishes every artifact byte-identically under
+        // fresh names: the grown corpus must reproduce the plain
+        // pipeline exactly while embedding nothing new — every verdict
+        // is served by the source interner, so the distinct-content
+        // table cannot grow.
+        let mut grown: Vec<(PackageId, &str)> = entries.clone();
+        for (i, (_, code)) in entries.iter().enumerate() {
+            let id: PackageId = format!("pypi/republished-{i}@1.0.0").parse().unwrap();
+            grown.push((id, code));
+        }
+        let plain = similar_pairs(&grown, &config);
+        let cached = similar_pairs_cached(&grown, &config, &mut cache);
+        assert_outputs_identical(&plain, &cached, "republished flood");
+        assert_eq!(cache.reps.len(), reps_before, "no new distinct content");
+        assert_eq!(cache.len(), grown.len(), "every clone memoised by id");
+        // Same-window duplicates (two fresh ids, one source) must also
+        // collapse to a single embedding.
+        let novel = corpus(1, 1, 99);
+        let twin_a: PackageId = "pypi/twin-a@1.0.0".parse().unwrap();
+        let twin_b: PackageId = "pypi/twin-b@1.0.0".parse().unwrap();
+        grown.push((twin_a.clone(), novel[0].1.as_str()));
+        grown.push((twin_b.clone(), novel[0].1.as_str()));
+        let plain = similar_pairs(&grown, &config);
+        let cached = similar_pairs_cached(&grown, &config, &mut cache);
+        assert_outputs_identical(&plain, &cached, "in-window twins");
+        assert_eq!(cache.embedded[&twin_a], cache.embedded[&twin_b]);
     }
 }

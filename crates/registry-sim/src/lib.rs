@@ -46,6 +46,7 @@ pub mod mirror;
 pub mod names;
 pub mod package;
 pub mod report;
+pub mod window;
 pub mod world;
 
 pub use campaign::{Campaign, CampaignKind};
@@ -54,4 +55,5 @@ pub use fault::FaultPlan;
 pub use mirror::{Mirror, MirrorFleet};
 pub use package::{CampaignIdx, PkgIdx, SimPackage, UnavailCause};
 pub use report::{ReportCategory, SecurityReport, Website};
+pub use window::WindowPlan;
 pub use world::{Mention, World};

@@ -6,9 +6,17 @@
 //!                  [--manifest-only] [--fault-rate F] [--retries N]
 //!                  [--fault-seed N] [--threads N]
 //! malgraph analyze --corpus P                        # JSON → MALGRAPH → summary
+//! malgraph ingest  [--seed N] [--scale F]            # windowed incremental build
+//!                  [--windows N] [--threads N] [--verify]
 //! malgraph scan <file.pyl> [name]                    # detectors on one file
 //! malgraph stats [snapshot.json]                     # pretty-print a metrics snapshot
 //! ```
+//!
+//! `ingest` replays the corpus as a sequence of disclosure-quantile
+//! collection windows and folds each delta into a live graph
+//! (`MalGraph::apply_delta`), printing per-window growth; `--verify`
+//! additionally runs a one-shot build over the union corpus and checks
+//! the incremental graph against it node for node, edge for edge.
 //!
 //! `collect`, `analyze` and `scan` additionally accept the observability
 //! flags `--metrics-out <file>` (JSON snapshot, schema `malgraph-obs/1`),
@@ -27,8 +35,9 @@ use malgraph::crawler::{
 };
 use malgraph::detector::{DynamicDetector, StaticDetector};
 use malgraph::malgraph_core::analysis::{actors, diversity, evolution, overlap, quality};
-use malgraph::malgraph_core::{build, BuildOptions};
+use malgraph::malgraph_core::{build, BuildOptions, IngestState, MalGraph};
 use malgraph::prelude::*;
+use malgraph::registry_sim::WindowPlan;
 use malgraph::{jsonio, obs};
 
 fn main() {
@@ -37,20 +46,22 @@ fn main() {
         Some("world") => cmd_world(&args[1..]),
         Some("collect") => cmd_collect(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("ingest") => cmd_ingest(&args[1..]),
         Some("scan") => cmd_scan(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         _ => {
             eprintln!(
-                "usage: malgraph <world|collect|analyze|scan|stats> …\n\
+                "usage: malgraph <world|collect|analyze|ingest|scan|stats> …\n\
                  \n\
                  world   [--seed N] [--scale F]\n\
                  collect [--seed N] [--scale F] --out corpus.json [--manifest-only]\n\
                  \x20        [--fault-rate F] [--retries N] [--fault-seed N] [--threads N]\n\
                  analyze --corpus corpus.json\n\
+                 ingest  [--seed N] [--scale F] [--windows N] [--threads N] [--verify]\n\
                  scan <file.pyl> [package-name]\n\
                  stats   [snapshot.json]\n\
                  \n\
-                 collect/analyze/scan also accept:\n\
+                 collect/analyze/ingest/scan also accept:\n\
                  \x20  --metrics-out FILE   write a metrics snapshot (malgraph-obs/1 JSON)\n\
                  \x20  --trace-out FILE     write a Chrome trace (chrome://tracing, Perfetto)\n\
                  \x20  --log-level LEVEL    off|error|warn|info|debug|trace (default warn)"
@@ -67,6 +78,7 @@ enum Cmd {
     World,
     Collect,
     Analyze,
+    Ingest,
     Scan,
     Stats,
 }
@@ -77,6 +89,7 @@ impl Cmd {
             Cmd::World => "world",
             Cmd::Collect => "collect",
             Cmd::Analyze => "analyze",
+            Cmd::Ingest => "ingest",
             Cmd::Scan => "scan",
             Cmd::Stats => "stats",
         }
@@ -85,7 +98,7 @@ impl Cmd {
     /// How many positional arguments the subcommand accepts.
     fn max_positional(self) -> usize {
         match self {
-            Cmd::World | Cmd::Collect | Cmd::Analyze => 0,
+            Cmd::World | Cmd::Collect | Cmd::Analyze | Cmd::Ingest => 0,
             Cmd::Scan => 2,
             Cmd::Stats => 1,
         }
@@ -97,11 +110,12 @@ impl Cmd {
 fn flag_cmds(flag: &str) -> Option<&'static [Cmd]> {
     use Cmd::*;
     Some(match flag {
-        "--seed" | "--scale" => &[World, Collect],
-        "--out" | "--manifest-only" | "--fault-rate" | "--retries" | "--fault-seed"
-        | "--threads" => &[Collect],
+        "--seed" | "--scale" => &[World, Collect, Ingest],
+        "--out" | "--manifest-only" | "--fault-rate" | "--retries" | "--fault-seed" => &[Collect],
+        "--threads" => &[Collect, Ingest],
         "--corpus" => &[Analyze],
-        "--metrics-out" | "--trace-out" | "--log-level" => &[Collect, Analyze, Scan],
+        "--windows" | "--verify" => &[Ingest],
+        "--metrics-out" | "--trace-out" | "--log-level" => &[Collect, Analyze, Ingest, Scan],
         _ => return None,
     })
 }
@@ -116,6 +130,8 @@ struct CommonOpts {
     retries: Option<u32>,
     fault_seed: Option<u64>,
     threads: Option<usize>,
+    windows: usize,
+    verify: bool,
     metrics_out: Option<String>,
     trace_out: Option<String>,
     log_level: Option<obs::Level>,
@@ -133,6 +149,8 @@ fn parse_opts(cmd: Cmd, args: &[String]) -> CommonOpts {
         retries: None,
         fault_seed: None,
         threads: None,
+        windows: 10,
+        verify: false,
         metrics_out: None,
         trace_out: None,
         log_level: None,
@@ -179,6 +197,14 @@ fn parse_opts(cmd: Cmd, args: &[String]) -> CommonOpts {
                 }
                 opts.threads = Some(threads);
             }
+            "--windows" => {
+                let windows: usize = next_parsed(&mut it, "--windows");
+                if windows == 0 {
+                    die("--windows must be at least 1");
+                }
+                opts.windows = windows;
+            }
+            "--verify" => opts.verify = true,
             "--metrics-out" => opts.metrics_out = Some(next_str(&mut it, "--metrics-out")),
             "--trace-out" => opts.trace_out = Some(next_str(&mut it, "--trace-out")),
             "--log-level" => {
@@ -422,6 +448,77 @@ fn cmd_analyze(args: &[String]) -> i32 {
     drop(analyze_span);
     obs_finish(&opts);
     0
+}
+
+fn cmd_ingest(args: &[String]) -> i32 {
+    let opts = parse_opts(Cmd::Ingest, args);
+    obs_setup(&opts);
+    let world = generate(&opts);
+    let dataset = collect(&world);
+    let plan = WindowPlan::disclosure_quantiles(&world, opts.windows);
+    let deltas = malgraph::crawler::partition_windows(&dataset, &plan);
+    let mut build_opts = BuildOptions::default();
+    if let Some(threads) = opts.threads {
+        build_opts.similarity.threads = threads;
+    }
+    println!(
+        "ingesting {} windows (seed {}, scale {}: {} packages, {} reports)",
+        deltas.len(),
+        opts.seed,
+        opts.scale,
+        dataset.packages.len(),
+        dataset.reports.len()
+    );
+    let mut graph = MalGraph::empty();
+    let mut state = IngestState::new();
+    for delta in &deltas {
+        let started = std::time::Instant::now();
+        graph.apply_delta(delta, &build_opts, &mut state);
+        println!(
+            "window {:>2} ending {}: +{} packages, +{} reports → {} nodes, {} edges ({:.2}s)",
+            delta.window,
+            delta.end,
+            delta.packages.len(),
+            delta.reports.len(),
+            graph.graph.node_count(),
+            graph.graph.edge_count(),
+            started.elapsed().as_secs_f64()
+        );
+    }
+    println!("\n-- relation graphs after ingestion (Table II shape)");
+    for row in diversity::table2(&graph) {
+        println!(
+            "{:<4} {:>6} nodes {:>9} edges (avg degree {:.2})",
+            row.relation.group_label(),
+            row.nodes,
+            row.edges,
+            row.avg_out_degree
+        );
+    }
+    let mut code = 0;
+    if opts.verify {
+        let oracle = build(state.dataset(), &build_opts);
+        let nodes_identical = graph.graph.node_count() == oracle.graph.node_count()
+            && graph
+                .graph
+                .nodes()
+                .zip(oracle.graph.nodes())
+                .all(|((_, a), (_, b))| a == b);
+        let edges_identical = graph.graph.edge_count() == oracle.graph.edge_count()
+            && graph
+                .graph
+                .edges()
+                .zip(oracle.graph.edges())
+                .all(|(a, b)| a.from == b.from && a.to == b.to && a.label == b.label);
+        if nodes_identical && edges_identical {
+            println!("\nverify: incremental graph is identical to a one-shot build");
+        } else {
+            eprintln!("\nverify FAILED: incremental graph diverges from the one-shot build");
+            code = 1;
+        }
+    }
+    obs_finish(&opts);
+    code
 }
 
 fn cmd_scan(args: &[String]) -> i32 {
