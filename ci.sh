@@ -28,11 +28,14 @@ cargo test -q --test failure_injection
 
 # The observability gates, run explicitly for the same reason:
 #  * obs unit tests — histogram bucket boundaries, deterministic shard
-#    merge, span accounting;
-#  * obs_instrumentation — instrumented runs stay bitwise identical to
-#    uninstrumented runs at 1 and 7 threads;
+#    merge, span accounting, self-time/folded attribution, allocation
+#    charging, perf-baseline threshold edges;
+#  * obs_instrumentation — instrumented runs (profiling + alloc
+#    accounting on) stay bitwise identical to uninstrumented runs at 1
+#    and 7 threads;
 #  * obs_export — byte-exact goldens for the JSON / Prometheus /
-#    Chrome-trace exporters (the malgraph-obs/1 schema-stability check).
+#    Chrome-trace / folded-stack exporters (the malgraph-obs/2
+#    schema-stability check).
 echo "== cargo test -q -p obs"
 cargo test -q -p obs
 echo "== cargo test -q --test obs_instrumentation"
@@ -85,5 +88,34 @@ echo "== cargo test -q -p malgraph-bench --test ingest_equivalence"
 cargo test -q -p malgraph-bench --test ingest_equivalence
 echo "== ingest_bench --quick"
 cargo run --release -q -p malgraph-bench --bin ingest_bench -- --quick
+
+# The profiling gate (PR 9): the folded self-time profile of the full
+# pipeline (world → collect → build → 23 analysis sections) is
+# byte-identical at 1 and 7 worker threads under a fake clock — span
+# contexts propagate into workers and lazy caches detach their spans, so
+# profiles are golden-testable.
+echo "== cargo test -q -p malgraph-bench --test profile_equivalence"
+cargo test -q -p malgraph-bench --test profile_equivalence
+
+# The perf-regression gate (PR 9): the quick benches above rewrote
+# BENCH_PR{6,7,8}_quick.json on this machine; diff each against its
+# checked-in baseline with `malgraph perf diff` and fail on regression.
+# Thresholds are deliberately generous (+50% relative AND +250 ms
+# absolute, both must be exceeded) — this gate catches real regressions,
+# not machine-to-machine variance; the sentinel's 10% sensitivity is
+# asserted by the obs::baseline unit tests and the CLI suite. After an
+# intentional perf change, regenerate the baselines with:
+#   MALGRAPH_PERF_ACCEPT=1 ./ci.sh
+echo "== perf_gate (malgraph perf diff vs baselines/)"
+cargo build --release -q --bin malgraph
+for bench in BENCH_PR6_quick BENCH_PR7_quick BENCH_PR8_quick; do
+    if [[ "${MALGRAPH_PERF_ACCEPT:-}" == "1" ]]; then
+        cp "$bench.json" "baselines/$bench.json"
+        echo "perf_gate: accepted $bench.json as the new baseline"
+    else
+        ./target/release/malgraph perf diff "baselines/$bench.json" "$bench.json" \
+            --threshold 0.50 --floor-us 250000
+    fi
+done
 
 echo "CI OK"

@@ -14,6 +14,11 @@
 use malgraph_bench::{AnalyzeMode, Repro, EXPERIMENTS, EXTENSIONS};
 use std::io::Write as _;
 
+// Counting allocator, as in the malgraph CLI: the regenerated report's
+// profile appendix attributes allocation bytes per pipeline stage.
+#[global_allocator]
+static ALLOC: obs::alloc::CountingAlloc = obs::alloc::CountingAlloc::new();
+
 fn main() {
     let mut seed = 42u64;
     let mut scale = 1.0f64; // the full paper-scale corpus runs in under a minute
@@ -67,6 +72,7 @@ fn main() {
     }
 
     eprintln!("generating world (seed {seed}, scale {scale}) and building MALGRAPH…");
+    obs::alloc::enable_tracking();
     let repro = Repro::with_mode(seed, scale, mode);
     eprintln!(
         "corpus: {} packages, {} reports, {} graph nodes",
@@ -147,6 +153,8 @@ fn main() {
         md.push_str("```\n");
         md.push_str(&timing_appendix(&section_ms, threads, mode));
         md.push_str(&bench_appendix(&path));
+        md.push_str(&profile_appendix(&obs::snapshot()));
+        md.push_str(&sentinel_appendix(&path));
         md.push_str(&format!("\nLast run {timings_line}.\n"));
         let mut file = std::fs::File::create(&path)
             .unwrap_or_else(|e| die(&format!("cannot create {path}: {e}")));
@@ -309,6 +317,125 @@ fn bench_appendix(out_path: &str) -> String {
         md.push_str(body.trim_end_matches('\n'));
         md.push_str("\n```\n");
     }
+    md
+}
+
+/// Profiling appendix: the folded self-time profile of this very run
+/// (`parent;child self_µs`, the format `flamegraph.pl` / inferno read),
+/// heaviest frames first, plus the heaviest allocation sites from the
+/// counting allocator. This is the pipeline flamegraph in text form —
+/// feed `malgraph <cmd> --profile-out` output to a flamegraph tool for
+/// the graphical version.
+fn profile_appendix(snapshot: &obs::Snapshot) -> String {
+    if snapshot.folded.is_empty() {
+        return String::new();
+    }
+    let mut md = String::from(
+        "\n## Pipeline profile — folded self-time stacks\n\n\
+         The folded self-time profile of the run that produced this report, captured\n\
+         by the obs registry (each line is `stack self_µs`, the flamegraph.pl /\n\
+         inferno input format; `malgraph … --profile-out` writes the same thing).\n\
+         Self time is wall time inside a span minus its children, so the lines sum\n\
+         to real pipeline time with no double counting. Heaviest frames first,\n\
+         allocation churn (bytes requested, frees not subtracted) alongside.\n\n```text\n",
+    );
+    let mut by_self: Vec<&obs::FoldedFrame> = snapshot.folded.iter().collect();
+    by_self.sort_by(|a, b| b.self_us.cmp(&a.self_us).then_with(|| a.stack.cmp(&b.stack)));
+    let total_self: u64 = snapshot.folded.iter().map(|f| f.self_us).sum();
+    md.push_str(&format!(
+        "{:>10}  {:>5}  {:>10}  {:>9}  stack\n",
+        "self µs", "%", "alloc", "allocs"
+    ));
+    for frame in by_self.iter().take(14) {
+        let pct = if total_self == 0 { 0.0 } else { frame.self_us as f64 * 100.0 / total_self as f64 };
+        md.push_str(&format!(
+            "{:>10}  {:>4.1}%  {:>10}  {:>9}  {}\n",
+            frame.self_us,
+            pct,
+            fmt_bytes(frame.alloc_bytes),
+            frame.allocs,
+            frame.stack
+        ));
+    }
+    if by_self.len() > 14 {
+        let rest: u64 = by_self.iter().skip(14).map(|f| f.self_us).sum();
+        md.push_str(&format!(
+            "{:>10}  {:>4.1}%  {:>10}  {:>9}  … {} more frames\n",
+            rest,
+            if total_self == 0 { 0.0 } else { rest as f64 * 100.0 / total_self as f64 },
+            "",
+            "",
+            by_self.len() - 14
+        ));
+    }
+    md.push_str("```\n");
+    md
+}
+
+fn fmt_bytes(b: u64) -> String {
+    match b {
+        0..=1023 => format!("{b}B"),
+        1024..=1048575 => format!("{:.1}KiB", b as f64 / 1024.0),
+        1048576..=1073741823 => format!("{:.1}MiB", b as f64 / 1048576.0),
+        _ => format!("{:.2}GiB", b as f64 / 1073741824.0),
+    }
+}
+
+/// Perf-sentinel appendix: demonstrates the regression gate on live data
+/// by diffing a quick-bench snapshot against itself (clean pass) and then
+/// against a copy with one timing inflated 25% (caught, non-zero exit in
+/// the CLI). This is exactly what `ci.sh`'s perf_gate step runs via
+/// `malgraph perf diff baselines/<bench>.json <bench>.json`.
+fn sentinel_appendix(out_path: &str) -> String {
+    let dir = std::path::Path::new(out_path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .map_or_else(|| std::path::PathBuf::from("."), std::path::Path::to_path_buf);
+    let Some((name, text)) = ["BENCH_PR8_quick.json", "BENCH_PR7_quick.json", "BENCH_PR6_quick.json"]
+        .iter()
+        .find_map(|n| std::fs::read_to_string(dir.join(n)).ok().map(|t| (*n, t)))
+    else {
+        return String::new();
+    };
+    let Ok(base) = obs::baseline::PerfProfile::from_json_str(name, &text) else {
+        return String::new();
+    };
+    let thresholds = obs::baseline::Thresholds::default();
+
+    // A clean self-diff, then the same diff with the largest timing
+    // inflated 25% — past the 10% relative and 500 ms absolute gates.
+    let clean = obs::baseline::diff(&base, &base, &thresholds);
+    let mut slow = base.clone();
+    slow.label = format!("{name} (+25% injected)");
+    if let Some((_, m)) = slow
+        .entries
+        .iter_mut()
+        .filter(|(_, m)| matches!(m.kind, obs::baseline::MetricKind::Time { .. }))
+        .max_by(|a, b| {
+            let us = |e: &(String, obs::baseline::Metric)| match e.1.kind {
+                obs::baseline::MetricKind::Time { us_per_unit } => e.1.value * us_per_unit,
+                _ => 0.0,
+            };
+            us(a).total_cmp(&us(b))
+        })
+    {
+        m.value *= 1.25;
+    }
+    let caught = obs::baseline::diff(&base, &slow, &thresholds);
+
+    let mut md = String::from(
+        "\n## Perf sentinel — the regression gate, demonstrated\n\n\
+         `malgraph perf diff` compares two snapshots (obs metrics or `BENCH_*.json`)\n\
+         and fails when a metric worsens by more than the relative threshold AND the\n\
+         absolute noise floor. Below: the checked-in quick-bench snapshot diffed\n\
+         against itself (clean), then against a copy with its largest timing\n\
+         inflated 25% — the injected regression the gate exists to catch. The same\n\
+         check runs in `ci.sh` (perf_gate) against `baselines/`.\n\n```text\n",
+    );
+    md.push_str(clean.render(false).trim_end_matches('\n'));
+    md.push_str("\n\n");
+    md.push_str(caught.render(false).trim_end_matches('\n'));
+    md.push_str("\n```\n");
     md
 }
 

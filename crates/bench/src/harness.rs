@@ -192,13 +192,19 @@ impl Repro {
         obs::counter_add("analysis.parallel_runs", 1);
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<String>>> = ids.iter().map(|_| Mutex::new(None)).collect();
+        // Workers attach the caller's span stack so every `analyze/{id}`
+        // span folds in the same place as in the single-threaded path.
+        let ctx = obs::current_context();
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(id) = ids.get(i) else { break };
-                    let section = self.run(id);
-                    *slots[i].lock().expect("section slot poisoned") = Some(section);
+                scope.spawn(|| {
+                    let _attached = ctx.attach();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(id) = ids.get(i) else { break };
+                        let section = self.run(id);
+                        *slots[i].lock().expect("section slot poisoned") = Some(section);
+                    }
                 });
             }
         });

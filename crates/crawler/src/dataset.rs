@@ -324,10 +324,15 @@ fn crawl_feeds(
     // source's fixed slot, so the merge order never depends on timing.
     let mut slots: Vec<Option<(Vec<RawMention>, FetchHealth)>> =
         (0..SourceId::ALL.len()).map(|_| None).collect();
+    // Workers attach the caller's span stack so the per-source spans in
+    // `crawl_source` fold identically to the serial path above.
+    let ctx = obs::current_context();
     crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|worker| {
+                let ctx = &ctx;
                 scope.spawn(move |_| {
+                    let _attached = ctx.attach();
                     SourceId::ALL
                         .iter()
                         .enumerate()
@@ -357,6 +362,7 @@ fn crawl_source(
     source: SourceId,
     transport: &Transport,
 ) -> (Vec<RawMention>, FetchHealth) {
+    let _span = obs::span!("collect/feeds/source={}", source.slug());
     let mut health = FetchHealth::default();
     let mut mentions = Vec::new();
     let documents = sources::render_feed(world, source);

@@ -48,6 +48,9 @@ pub struct AnalysisIndex {
 impl AnalysisIndex {
     /// Builds the index with one pass over the corpus.
     pub fn new(dataset: &CollectedDataset) -> AnalysisIndex {
+        // Detached: built lazily under whichever analysis pass gets there
+        // first, so it roots its own profile stack (see obs::detached).
+        let _detached = obs::detached();
         let _span = obs::span!("analysis/corpus-index");
         obs::counter_add("analysis.corpus_index_builds", 1);
         let mut by_id = HashMap::with_capacity(dataset.packages.len());
@@ -125,6 +128,7 @@ impl AnalysisIndex {
 
     fn sequence_positions(&self, graph: &MalGraph) -> &[Vec<u32>] {
         self.sg_sequences.get_or_init(|| {
+            let _detached = obs::detached();
             let _span = obs::span!("analysis/sequences");
             obs::counter_add("analysis.sequence_builds", 1);
             graph

@@ -91,6 +91,10 @@ impl MalGraph {
     /// incremental extension is byte-identical to a fresh build.
     pub fn component_index(&self, relation: Relation) -> &ComponentIndex {
         let indexes = self.indexes.get_or_init(|| {
+            // Detached: which analysis section wins the OnceLock race is
+            // scheduling-dependent, so the build must root its own stack
+            // for the folded profile to stay thread-count-invariant.
+            let _detached = obs::detached();
             let _span = obs::span!("analysis/index/components");
             let mut carried = self.dup_carry.lock().expect("carry lock poisoned").take();
             let fresh: Vec<Relation> = Relation::ALL
@@ -127,6 +131,7 @@ impl MalGraph {
     /// graph itself).
     pub fn adjacency(&self, relation: Relation) -> &AdjacencyIndex {
         self.adjacency[relation_slot(relation)].get_or_init(|| {
+            let _detached = obs::detached();
             let _span = obs::span!("analysis/index/adjacency/{}", relation.group_label());
             obs::counter_add("analysis.adjacency_builds", 1);
             AdjacencyIndex::build(&self.graph, |l| *l == relation)
@@ -148,6 +153,7 @@ impl MalGraph {
     /// union-find.
     pub fn relation_stats(&self, relation: Relation) -> graphstore::stats::RelationStats {
         let stats = self.stats.get_or_init(|| {
+            let _detached = obs::detached();
             let _span = obs::span!("analysis/index/stats");
             graphstore::stats::RelationStats::compute_many(&self.graph, &Relation::ALL)
         });
@@ -401,12 +407,18 @@ pub fn build(dataset: &CollectedDataset, options: &BuildOptions) -> MalGraph {
     // of which pipeline finishes first.
     let stage = obs::span!("build/similar");
     let jobs = similarity_jobs(&dataset.packages);
+    // Carry the span stack into the workers: the per-ecosystem spans fold
+    // under build/similar exactly as they would run serially, so the
+    // profile is identical at any worker count.
+    let ctx = obs::current_context();
     let outputs: Vec<Arc<SimilarityOutput>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = jobs
             .iter()
             .map(|&(eco, ref entries)| {
                 let similarity = &options.similarity;
+                let ctx = &ctx;
                 scope.spawn(move |_| {
+                    let _attached = ctx.attach();
                     let _span = obs::span!("build/similar/ecosystem={}", eco.display_name());
                     similar_pairs(entries, similarity)
                 })

@@ -1,16 +1,21 @@
-//! Snapshot types and the three exporters.
+//! Snapshot types and the four exporters.
 //!
 //! * [`Snapshot::to_json`] — the canonical machine-readable dump
-//!   (schema `malgraph-obs/1`), what `--metrics-out` writes and
-//!   `malgraph stats` reads back.
+//!   (schema `malgraph-obs/2`), what `--metrics-out` writes and
+//!   `malgraph stats` / `malgraph perf diff` read back.
 //! * [`Snapshot::to_prometheus`] — Prometheus text exposition format 0.0.4;
 //!   `{key=value}` suffixes in metric names become Prometheus labels.
 //! * [`Snapshot::to_chrome_trace`] — Chrome trace-event JSON (complete
-//!   `"X"` events) loadable in `chrome://tracing` or Perfetto.
+//!   `"X"` events) loadable in `chrome://tracing` or Perfetto; spans
+//!   recorded on different worker shards keep distinct `tid` rows.
+//! * [`Snapshot::to_folded`] / [`Snapshot::to_folded_alloc`] — collapsed
+//!   stacks (`parent;child;grandchild <self_value>` lines) consumable by
+//!   flamegraph.pl or inferno, weighted by self-microseconds or
+//!   self-allocated bytes.
 //!
 //! All output is deterministic: entries are name-sorted, events are
-//! time-sorted, and trace thread ids are renumbered densely by first
-//! appearance so the same workload exports the same bytes.
+//! time-then-name-sorted, and trace thread ids are renumbered densely by
+//! first appearance so the same workload exports the same bytes.
 
 use crate::registry::BUCKET_BOUNDS;
 use std::collections::HashMap;
@@ -29,7 +34,9 @@ pub struct SpanEvent {
     pub dur_us: u64,
 }
 
-/// Per-name span rollup: how many times it closed and total wall time.
+/// Per-name span rollup: closures, wall time, self time, and the
+/// self-allocation charge (non-zero only when [`crate::alloc`] tracking
+/// is active).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanAggregate {
     /// Full span path.
@@ -38,6 +45,28 @@ pub struct SpanAggregate {
     pub count: u64,
     /// Summed wall time in microseconds.
     pub total_us: u64,
+    /// Summed self time (wall time minus child spans) in microseconds.
+    pub self_us: u64,
+    /// Bytes allocated while this span was the innermost open span.
+    pub alloc_bytes: u64,
+    /// Allocation calls charged the same way.
+    pub allocs: u64,
+}
+
+/// One folded-stack profile line: a full `parent;child;…` path with its
+/// accumulated self time and self allocations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoldedFrame {
+    /// Semicolon-joined span names from root to leaf.
+    pub stack: String,
+    /// Number of closures recorded at exactly this path.
+    pub count: u64,
+    /// Self time in microseconds accumulated at this path.
+    pub self_us: u64,
+    /// Self-allocated bytes accumulated at this path.
+    pub alloc_bytes: u64,
+    /// Self allocation calls accumulated at this path.
+    pub allocs: u64,
 }
 
 /// Frozen histogram state: per-bucket counts plus summary stats.
@@ -70,6 +99,8 @@ pub struct Snapshot {
     pub histograms: Vec<HistogramSnapshot>,
     /// Span rollups, name-sorted.
     pub spans: Vec<SpanAggregate>,
+    /// Folded-stack profile, stack-sorted.
+    pub folded: Vec<FoldedFrame>,
     /// Raw span events, time-sorted.
     pub events: Vec<SpanEvent>,
     /// Events discarded past the retention cap.
@@ -144,11 +175,14 @@ fn prometheus_parts(name: &str) -> (String, String) {
 }
 
 impl Snapshot {
-    /// The canonical JSON dump (schema `malgraph-obs/1`). Raw span events
-    /// are not included — they live in the Chrome trace export.
+    /// The canonical JSON dump (schema `malgraph-obs/2`; `/2` added
+    /// `self_us` / `alloc_bytes` / `allocs` to every span entry — readers
+    /// accept both ids). Raw span events are not included — they live in
+    /// the Chrome trace export; the folded profile lives in
+    /// [`Snapshot::to_folded`].
     pub fn to_json(&self) -> String {
         let mut out = String::new();
-        out.push_str("{\n  \"schema\": \"malgraph-obs/1\",\n  \"counters\": {");
+        out.push_str("{\n  \"schema\": \"malgraph-obs/2\",\n  \"counters\": {");
         for (i, (name, value)) in self.counters.iter().enumerate() {
             let sep = if i == 0 { "\n" } else { ",\n" };
             let _ = write!(out, "{sep}    \"{}\": {value}", escape_json(name));
@@ -187,10 +221,13 @@ impl Snapshot {
             let sep = if i == 0 { "\n" } else { ",\n" };
             let _ = write!(
                 out,
-                "{sep}    \"{}\": {{\"count\": {}, \"total_us\": {}}}",
+                "{sep}    \"{}\": {{\"count\": {}, \"total_us\": {}, \"self_us\": {}, \"alloc_bytes\": {}, \"allocs\": {}}}",
                 escape_json(&span.name),
                 span.count,
-                span.total_us
+                span.total_us,
+                span.self_us,
+                span.alloc_bytes,
+                span.allocs
             );
         }
         if !self.spans.is_empty() {
@@ -200,10 +237,34 @@ impl Snapshot {
         out
     }
 
+    /// Folded-stack profile weighted by self time: one
+    /// `parent;child;grandchild <self_us>` line per recorded stack path,
+    /// path-sorted, newline-terminated — the input format of
+    /// flamegraph.pl and inferno-flamegraph. Under a fake clock the
+    /// output is byte-stable, so whole-pipeline profiles golden-test.
+    pub fn to_folded(&self) -> String {
+        let mut out = String::new();
+        for frame in &self.folded {
+            let _ = writeln!(out, "{} {}", frame.stack, frame.self_us);
+        }
+        out
+    }
+
+    /// Folded-stack profile weighted by self-allocated bytes (all zeros
+    /// unless [`crate::alloc`] tracking was active). Same format and
+    /// ordering as [`Snapshot::to_folded`].
+    pub fn to_folded_alloc(&self) -> String {
+        let mut out = String::new();
+        for frame in &self.folded {
+            let _ = writeln!(out, "{} {}", frame.stack, frame.alloc_bytes);
+        }
+        out
+    }
+
     /// Prometheus text exposition format. Counters map to `counter`
     /// families, gauges to `gauge`, histograms to `histogram` with
     /// cumulative `_bucket{le=…}` series plus `_sum` / `_count`, and span
-    /// rollups to two counter families labeled by span path.
+    /// rollups to three counter families labeled by span path.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         let mut last_family = String::new();
@@ -235,13 +296,23 @@ impl Snapshot {
             let _ = writeln!(out, "{family}_count{labels} {}", hist.count);
         }
         if !self.spans.is_empty() {
+            let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
             let _ = writeln!(out, "# TYPE obs_span_total_us counter");
             for span in &self.spans {
                 let _ = writeln!(
                     out,
                     "obs_span_total_us{{span=\"{}\"}} {}",
-                    span.name.replace('\\', "\\\\").replace('"', "\\\""),
+                    escape(&span.name),
                     span.total_us
+                );
+            }
+            let _ = writeln!(out, "# TYPE obs_span_self_us counter");
+            for span in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "obs_span_self_us{{span=\"{}\"}} {}",
+                    escape(&span.name),
+                    span.self_us
                 );
             }
             let _ = writeln!(out, "# TYPE obs_span_count counter");
@@ -249,7 +320,7 @@ impl Snapshot {
                 let _ = writeln!(
                     out,
                     "obs_span_count{{span=\"{}\"}} {}",
-                    span.name.replace('\\', "\\\\").replace('"', "\\\""),
+                    escape(&span.name),
                     span.count
                 );
             }
@@ -258,8 +329,10 @@ impl Snapshot {
     }
 
     /// Chrome trace-event JSON: complete (`ph:"X"`) events with
-    /// microsecond `ts`/`dur`, thread ids renumbered densely in order of
-    /// first appearance. Loadable in `chrome://tracing` and Perfetto.
+    /// microsecond `ts`/`dur`. Thread ids are renumbered densely in order
+    /// of first appearance — each worker shard that recorded spans keeps
+    /// its own `tid` row rather than collapsing onto one. Loadable in
+    /// `chrome://tracing` and Perfetto.
     pub fn to_chrome_trace(&self) -> String {
         let mut tid_map: HashMap<u64, u64> = HashMap::new();
         let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");

@@ -12,9 +12,22 @@
 //! * **Metrics** — named counters, gauges, and fixed-bucket histograms
 //!   ([`BUCKET_BOUNDS`]: 1-2-5 per decade). Labels ride inside the name
 //!   as a `{key=value}` suffix, e.g. `build.edges_added{relation=similar}`.
-//! * **Exporters** — [`Snapshot::to_json`] (schema `malgraph-obs/1`),
-//!   [`Snapshot::to_prometheus`] (text exposition format), and
-//!   [`Snapshot::to_chrome_trace`] (Perfetto-loadable trace events).
+//! * **Profiling** — every span tracks *self* time (wall time minus
+//!   child spans) alongside total time, and binaries that install
+//!   [`alloc::CountingAlloc`] can charge allocation bytes/calls to the
+//!   innermost open span ([`alloc`]). Spans nest through a thread-local
+//!   stack; [`current_context`] / [`SpanContext::attach`] carry the
+//!   logical stack across worker-thread spawns so profiles are
+//!   identical at any thread count, and [`detached`] roots spans whose
+//!   triggering caller is scheduling-dependent (lazy caches).
+//! * **Exporters** — [`Snapshot::to_json`] (schema `malgraph-obs/2`),
+//!   [`Snapshot::to_prometheus`] (text exposition format),
+//!   [`Snapshot::to_chrome_trace`] (Perfetto-loadable trace events),
+//!   and [`Snapshot::to_folded`] (flamegraph.pl-compatible collapsed
+//!   stacks, byte-stable under [`FakeClock`]).
+//! * **Baselines** — [`baseline`] loads snapshot or bench JSON into
+//!   [`baseline::PerfProfile`]s and diffs them under noise thresholds,
+//!   powering `malgraph perf diff` and the CI perf gate.
 //!
 //! # Overhead policy
 //!
@@ -40,26 +53,35 @@
 //! obs::disable();
 //! ```
 
-#![forbid(unsafe_code)]
+// deny (not forbid) so the one GlobalAlloc module can carve itself out.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc;
+pub mod baseline;
 mod clock;
 mod export;
 mod log;
 mod registry;
 
 pub use clock::{Clock, FakeClock, RealClock};
-pub use export::{HistogramSnapshot, Snapshot, SpanAggregate, SpanEvent};
+pub use export::{FoldedFrame, HistogramSnapshot, Snapshot, SpanAggregate, SpanEvent};
 pub use log::{log_at, log_enabled, log_level, set_log_level, Level};
 pub use registry::{
-    counter_add, disable, enable, enable_with_clock, enabled, gauge_set, histogram_record,
-    now_micros, reset, snapshot, span_total_micros, Span, BUCKET_BOUNDS,
+    counter_add, current_context, detached, disable, enable, enable_with_clock, enabled,
+    gauge_set, histogram_record, now_micros, reset, snapshot, span_total_micros, ContextGuard,
+    Span, SpanContext, BUCKET_BOUNDS,
 };
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::{Arc, Mutex, OnceLock};
+
+    // Install the counting allocator in the unit-test binary so the
+    // allocation-attribution tests exercise the real sampling path.
+    #[global_allocator]
+    static TEST_ALLOC: alloc::CountingAlloc = alloc::CountingAlloc::new();
 
     /// The registry is global; tests that enable/reset it serialize here.
     fn lock() -> std::sync::MutexGuard<'static, ()> {
@@ -189,6 +211,141 @@ mod tests {
         assert!(snap.spans.is_empty());
         assert!(snap.events.is_empty());
         assert_eq!(snap.events_dropped, 0);
+    }
+
+    #[test]
+    fn self_time_splits_parent_and_child_and_folds_stacks() {
+        let _guard = lock();
+        let clock = Arc::new(FakeClock::new());
+        enable_with_clock(clock.clone());
+        reset();
+        clock.set_micros(100);
+        let outer = span!("p/outer");
+        clock.advance_micros(10);
+        let inner = span!("p/inner");
+        clock.advance_micros(30);
+        inner.finish();
+        clock.advance_micros(5);
+        drop(outer); // total 45µs, of which 30µs belong to the child
+        let snap = snapshot();
+        disable();
+        let agg = |name: &str| snap.spans.iter().find(|s| s.name == name).unwrap();
+        assert_eq!((agg("p/outer").total_us, agg("p/outer").self_us), (45, 15));
+        assert_eq!((agg("p/inner").total_us, agg("p/inner").self_us), (30, 30));
+        assert_eq!(snap.to_folded(), "p/outer 15\np/outer;p/inner 30\n");
+    }
+
+    #[test]
+    fn span_context_carries_the_stack_across_threads() {
+        let _guard = lock();
+        let run = |spawn: bool| {
+            let clock = Arc::new(FakeClock::new());
+            enable_with_clock(clock.clone());
+            reset();
+            clock.set_micros(0);
+            let root = span!("root");
+            clock.advance_micros(10);
+            let work = || {
+                let child = span!("child");
+                clock.advance_micros(7);
+                child.finish();
+            };
+            if spawn {
+                let ctx = current_context();
+                std::thread::scope(|scope| {
+                    scope.spawn(|| {
+                        let _attached = ctx.attach();
+                        work();
+                    });
+                });
+            } else {
+                work();
+            }
+            drop(root); // total 17µs, child 7µs → self 10µs
+            let snap = snapshot();
+            disable();
+            (snap.to_folded(), snap.spans.clone())
+        };
+        let inline = run(false);
+        let threaded = run(true);
+        assert_eq!(inline.0, "root 10\nroot;child 7\n");
+        assert_eq!(inline, threaded, "worker spans must fold under the captured parent");
+    }
+
+    #[test]
+    fn detached_spans_root_at_top_level_and_skip_parent_charging() {
+        let _guard = lock();
+        let clock = Arc::new(FakeClock::new());
+        enable_with_clock(clock.clone());
+        reset();
+        clock.set_micros(0);
+        let caller = span!("caller");
+        {
+            let _barrier = detached();
+            let lazy = span!("lazy/init");
+            clock.advance_micros(40);
+            lazy.finish();
+        }
+        clock.advance_micros(2);
+        drop(caller);
+        let snap = snapshot();
+        disable();
+        let caller_agg = snap.spans.iter().find(|s| s.name == "caller").unwrap();
+        // The detached child's 40µs elapse on the same clock, so they are
+        // inside caller's wall time but must NOT be subtracted as child
+        // time — the lazy span is attributed as its own root.
+        assert_eq!((caller_agg.total_us, caller_agg.self_us), (42, 42));
+        assert_eq!(snap.to_folded(), "caller 42\nlazy/init 40\n");
+    }
+
+    #[test]
+    fn alloc_tracking_charges_bytes_to_the_active_span() {
+        let _guard = lock();
+        enable();
+        reset();
+        alloc::enable_tracking();
+        let (b0, a0) = alloc::thread_totals();
+        let outer = span!("mem/outer");
+        let inner = span!("mem/inner");
+        let block = std::hint::black_box(vec![0u8; 1 << 16]);
+        inner.finish();
+        drop(block);
+        outer.finish();
+        let (b1, a1) = alloc::thread_totals();
+        alloc::disable_tracking();
+        let snap = snapshot();
+        disable();
+        assert!(b1 - b0 >= 1 << 16, "thread totals must see the 64 KiB block");
+        assert!(a1 > a0);
+        let agg = |name: &str| snap.spans.iter().find(|s| s.name == name).unwrap();
+        assert!(agg("mem/inner").alloc_bytes >= 1 << 16, "inner owns the block");
+        assert!(agg("mem/inner").allocs >= 1);
+        assert!(
+            agg("mem/outer").alloc_bytes < 1 << 16,
+            "child allocations must not double-charge the parent (outer self = {})",
+            agg("mem/outer").alloc_bytes
+        );
+        let folded_alloc = snap.to_folded_alloc();
+        let inner_line = folded_alloc
+            .lines()
+            .find(|l| l.starts_with("mem/outer;mem/inner "))
+            .expect("folded alloc profile has the nested frame");
+        let weight: u64 = inner_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(weight >= 1 << 16);
+    }
+
+    #[test]
+    fn alloc_tracking_disabled_reports_zero_deltas() {
+        let _guard = lock();
+        enable();
+        reset();
+        let span = span!("mem/quiet");
+        let _v = std::hint::black_box(vec![0u8; 4096]);
+        span.finish();
+        let snap = snapshot();
+        disable();
+        let agg = snap.spans.iter().find(|s| s.name == "mem/quiet").unwrap();
+        assert_eq!((agg.alloc_bytes, agg.allocs), (0, 0));
     }
 
     #[test]

@@ -12,12 +12,33 @@
 //! what keeps instrumented pipeline runs bitwise-identical to
 //! uninstrumented ones.
 //!
+//! # Profiling-grade attribution (PR 9)
+//!
+//! Each thread additionally keeps a **span stack**: the frames of every
+//! open span on that thread, in begin order. A closing span charges its
+//! wall time (and allocation delta, see [`crate::alloc`]) to the frame
+//! below it, so every aggregate carries *self* time — total minus
+//! children — and the registry can emit a folded-stack profile
+//! ([`crate::Snapshot::to_folded`], flamegraph.pl/inferno-compatible).
+//!
+//! Parallel sections keep the *logical* stack intact across threads:
+//! capture [`current_context`] before spawning and [`SpanContext::attach`]
+//! inside the worker, and the worker's spans fold under the same parent
+//! (and feed the same child accumulator, via a shared atomic cell) as if
+//! they had run inline. Lazily-built shared resources whose triggering
+//! caller is scheduling-dependent use [`detached`] instead, rooting their
+//! spans at top level so the folded profile never depends on which racing
+//! caller won. Together these keep the folded profile byte-identical at
+//! any thread count.
+//!
 //! When the registry is disabled (the default) every entry point returns
 //! after a single relaxed atomic load, so instrumentation left in hot
 //! loops costs one predictable branch.
 
+use crate::alloc as alloc_track;
 use crate::clock::{Clock, RealClock};
-use crate::export::{HistogramSnapshot, Snapshot, SpanAggregate, SpanEvent};
+use crate::export::{FoldedFrame, HistogramSnapshot, Snapshot, SpanAggregate, SpanEvent};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock, Weak};
@@ -25,6 +46,8 @@ use std::time::Duration;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static NEXT_THREAD_ORDINAL: AtomicU64 = AtomicU64::new(1);
+/// Tokens identify stack frames; 0 is reserved for "not on any stack".
+static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
 
 /// Hard cap on retained span events per run; past it events are counted
 /// in `events_dropped` instead of stored, bounding memory on long runs.
@@ -77,11 +100,33 @@ impl Histogram {
     }
 }
 
+/// Per-name span rollup inside a shard: every field is a `u64` sum, so
+/// shard merges commute.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct SpanStat {
+    pub count: u64,
+    pub total_us: u64,
+    pub self_us: u64,
+    pub alloc_bytes: u64,
+    pub allocs: u64,
+}
+
+/// Per-stack-path rollup (the folded profile): self time and self
+/// allocations keyed by the full `parent;child;…` path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct FoldedStat {
+    pub count: u64,
+    pub self_us: u64,
+    pub alloc_bytes: u64,
+    pub allocs: u64,
+}
+
 #[derive(Default)]
 struct Aggregates {
     counters: HashMap<String, u64>,
     histograms: HashMap<String, Histogram>,
-    spans: HashMap<String, (u64, u64)>, // (count, total_us)
+    spans: HashMap<String, SpanStat>,
+    folded: HashMap<String, FoldedStat>,
     events: Vec<SpanEvent>,
     events_dropped: u64,
 }
@@ -99,10 +144,20 @@ impl Aggregates {
                 }
             }
         }
-        for (name, (count, total)) in other.spans.drain() {
-            let entry = self.spans.entry(name).or_insert((0, 0));
-            entry.0 += count;
-            entry.1 += total;
+        for (name, stat) in other.spans.drain() {
+            let entry = self.spans.entry(name).or_default();
+            entry.count += stat.count;
+            entry.total_us += stat.total_us;
+            entry.self_us += stat.self_us;
+            entry.alloc_bytes += stat.alloc_bytes;
+            entry.allocs += stat.allocs;
+        }
+        for (path, stat) in other.folded.drain() {
+            let entry = self.folded.entry(path).or_default();
+            entry.count += stat.count;
+            entry.self_us += stat.self_us;
+            entry.alloc_bytes += stat.alloc_bytes;
+            entry.allocs += stat.allocs;
         }
         self.events_dropped += other.events_dropped;
         for event in other.events.drain(..) {
@@ -158,6 +213,7 @@ impl Drop for ShardHandle {
         if !agg.counters.is_empty()
             || !agg.histograms.is_empty()
             || !agg.spans.is_empty()
+            || !agg.folded.is_empty()
             || !agg.events.is_empty()
             || agg.events_dropped > 0
         {
@@ -284,13 +340,145 @@ pub fn histogram_record(name: &str, value: u64) {
     });
 }
 
+/// What children charge their parent frame: wall time plus allocation
+/// deltas, all relaxed atomic adds so cross-thread children (attached
+/// contexts) merge deterministically.
+#[derive(Default)]
+pub(crate) struct ChildAccum {
+    us: AtomicU64,
+    bytes: AtomicU64,
+    allocs: AtomicU64,
+}
+
+/// One open span (or attached context) on a thread's stack. `path` is
+/// the full folded path including the frame's own name; `None` marks a
+/// [`detached`] barrier, under which spans root at top level.
+struct StackFrame {
+    token: u64,
+    path: Option<Arc<str>>,
+    accum: Arc<ChildAccum>,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<StackFrame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Remove the frame with `token` and everything above it (frames above a
+/// closing frame are stale: their spans were leaked or closed on another
+/// thread; truncating keeps later spans from nesting under them).
+fn pop_frame(token: u64) {
+    if token == 0 {
+        return;
+    }
+    let _ = STACK.try_with(|stack| {
+        let mut stack = stack.borrow_mut();
+        if let Some(idx) = stack.iter().rposition(|f| f.token == token) {
+            stack.truncate(idx);
+        }
+    });
+}
+
+/// A captured position in the logical span stack, for carrying
+/// attribution across a thread spawn. Capture on the spawning thread with
+/// [`current_context`], then [`SpanContext::attach`] inside the worker:
+/// spans the worker opens fold under the captured parent and charge their
+/// time and allocations to it exactly as if they had run inline — which
+/// is what keeps folded profiles identical at any thread count.
+pub struct SpanContext {
+    parent: Option<(Arc<str>, Arc<ChildAccum>)>,
+}
+
+/// Capture the calling thread's innermost open span as a propagatable
+/// context. Empty (a no-op to attach) when the registry is disabled, the
+/// stack is empty, or the top frame is a [`detached`] barrier.
+pub fn current_context() -> SpanContext {
+    let mut parent = None;
+    if enabled() {
+        let _ = STACK.try_with(|stack| {
+            if let Some(top) = stack.borrow().last() {
+                if let Some(path) = &top.path {
+                    parent = Some((path.clone(), top.accum.clone()));
+                }
+            }
+        });
+    }
+    SpanContext { parent }
+}
+
+impl SpanContext {
+    /// Push this context onto the calling thread's stack until the guard
+    /// drops. Spans begun under the guard treat the captured span as
+    /// their parent.
+    pub fn attach(&self) -> ContextGuard {
+        let Some((path, accum)) = &self.parent else {
+            return ContextGuard { token: 0 };
+        };
+        if !enabled() {
+            return ContextGuard { token: 0 };
+        }
+        let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
+        let pushed = STACK
+            .try_with(|stack| {
+                stack.borrow_mut().push(StackFrame {
+                    token,
+                    path: Some(path.clone()),
+                    accum: accum.clone(),
+                });
+            })
+            .is_ok();
+        ContextGuard { token: if pushed { token } else { 0 } }
+    }
+}
+
+/// Mask the calling thread's span stack until the guard drops: spans
+/// begun under it root at top level and their time is not charged to any
+/// enclosing span. Use around lazily-built shared resources (`OnceLock`
+/// initialisers) whose triggering caller is scheduling-dependent — the
+/// folded profile then attributes them to a stable root instead of to
+/// whichever racing caller happened to win.
+pub fn detached() -> ContextGuard {
+    if !enabled() {
+        return ContextGuard { token: 0 };
+    }
+    let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
+    let pushed = STACK
+        .try_with(|stack| {
+            stack.borrow_mut().push(StackFrame { token, path: None, accum: Arc::default() });
+        })
+        .is_ok();
+    ContextGuard { token: if pushed { token } else { 0 } }
+}
+
+/// Stack guard returned by [`SpanContext::attach`] and [`detached`];
+/// removes its frame (and any stale frames above it) on drop.
+pub struct ContextGuard {
+    token: u64,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        pop_frame(self.token);
+    }
+}
+
 /// A timing guard: measures from construction to drop (or [`Span::finish`])
 /// and records a span event plus an aggregate entry under its name.
 /// Construct through the [`crate::span!`] macro, which skips the name
 /// formatting entirely when the registry is disabled.
+///
+/// Spans must close on the thread that began them — attribution samples
+/// the thread's allocation counters and span stack. A guard moved to and
+/// closed on another thread still records its wall time, but its
+/// allocation delta is meaningless and is dropped to zero by saturation.
 pub struct Span {
     name: Option<String>,
+    path: String,
+    token: u64,
     start_us: u64,
+    start_bytes: u64,
+    start_allocs: u64,
+    parent: Option<Arc<ChildAccum>>,
+    accum: Option<Arc<ChildAccum>>,
 }
 
 impl Span {
@@ -299,12 +487,49 @@ impl Span {
         if !enabled() {
             return Span::noop();
         }
-        Span { start_us: now_micros(), name: Some(name) }
+        let (start_bytes, start_allocs) = alloc_track::thread_totals();
+        let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
+        let accum: Arc<ChildAccum> = Arc::default();
+        let mut parent = None;
+        let mut path = name.clone();
+        let _ = STACK.try_with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(top) = stack.last() {
+                if let Some(parent_path) = &top.path {
+                    path = format!("{parent_path};{name}");
+                }
+                parent = Some(top.accum.clone());
+            }
+            stack.push(StackFrame {
+                token,
+                path: Some(Arc::from(path.as_str())),
+                accum: accum.clone(),
+            });
+        });
+        Span {
+            name: Some(name),
+            path,
+            token,
+            start_us: now_micros(),
+            start_bytes,
+            start_allocs,
+            parent,
+            accum: Some(accum),
+        }
     }
 
     /// A guard that records nothing and measures zero.
     pub fn noop() -> Span {
-        Span { name: None, start_us: 0 }
+        Span {
+            name: None,
+            path: String::new(),
+            token: 0,
+            start_us: 0,
+            start_bytes: 0,
+            start_allocs: 0,
+            parent: None,
+            accum: None,
+        }
     }
 
     /// Close the span now and return the measured wall time
@@ -319,17 +544,40 @@ impl Span {
         };
         let end_us = now_micros();
         let dur_us = end_us.saturating_sub(self.start_us);
+        let (end_bytes, end_allocs) = alloc_track::thread_totals();
+        let delta_bytes = end_bytes.saturating_sub(self.start_bytes);
+        let delta_allocs = end_allocs.saturating_sub(self.start_allocs);
+        pop_frame(self.token);
+        let (child_us, child_bytes, child_allocs) = match &self.accum {
+            Some(accum) => (
+                accum.us.load(Ordering::Relaxed),
+                accum.bytes.load(Ordering::Relaxed),
+                accum.allocs.load(Ordering::Relaxed),
+            ),
+            None => (0, 0, 0),
+        };
+        let self_us = dur_us.saturating_sub(child_us);
+        let self_bytes = delta_bytes.saturating_sub(child_bytes);
+        let self_allocs = delta_allocs.saturating_sub(child_allocs);
+        if let Some(parent) = &self.parent {
+            parent.us.fetch_add(dur_us, Ordering::Relaxed);
+            parent.bytes.fetch_add(delta_bytes, Ordering::Relaxed);
+            parent.allocs.fetch_add(delta_allocs, Ordering::Relaxed);
+        }
+        let path = std::mem::take(&mut self.path);
         let start_us = self.start_us;
         with_shard(|agg, ordinal| {
-            match agg.spans.get_mut(&name) {
-                Some((count, total)) => {
-                    *count += 1;
-                    *total += dur_us;
-                }
-                None => {
-                    agg.spans.insert(name.clone(), (1, dur_us));
-                }
-            }
+            let stat = agg.spans.entry(name.clone()).or_default();
+            stat.count += 1;
+            stat.total_us += dur_us;
+            stat.self_us += self_us;
+            stat.alloc_bytes += self_bytes;
+            stat.allocs += self_allocs;
+            let folded = agg.folded.entry(path).or_default();
+            folded.count += 1;
+            folded.self_us += self_us;
+            folded.alloc_bytes += self_bytes;
+            folded.allocs += self_allocs;
             if agg.events.len() < MAX_EVENTS {
                 agg.events.push(SpanEvent { name, thread: ordinal, start_us, dur_us });
             } else {
@@ -351,7 +599,7 @@ impl Drop for Span {
 /// attribute nested time, e.g. the similarity share of a build.
 pub fn span_total_micros(name: &str) -> u64 {
     sweep_shards();
-    global().lock().unwrap().agg.spans.get(name).map(|(_, total)| *total).unwrap_or(0)
+    global().lock().unwrap().agg.spans.get(name).map(|stat| stat.total_us).unwrap_or(0)
 }
 
 /// A consistent copy of everything recorded so far, with deterministic
@@ -383,22 +631,42 @@ pub fn snapshot() -> Snapshot {
         .agg
         .spans
         .iter()
-        .map(|(name, (count, total))| SpanAggregate {
+        .map(|(name, stat)| SpanAggregate {
             name: name.clone(),
-            count: *count,
-            total_us: *total,
+            count: stat.count,
+            total_us: stat.total_us,
+            self_us: stat.self_us,
+            alloc_bytes: stat.alloc_bytes,
+            allocs: stat.allocs,
         })
         .collect();
     spans.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut folded: Vec<FoldedFrame> = state
+        .agg
+        .folded
+        .iter()
+        .map(|(stack, stat)| FoldedFrame {
+            stack: stack.clone(),
+            count: stat.count,
+            self_us: stat.self_us,
+            alloc_bytes: stat.alloc_bytes,
+            allocs: stat.allocs,
+        })
+        .collect();
+    folded.sort_by(|a, b| a.stack.cmp(&b.stack));
     let mut events = state.agg.events.clone();
+    // Name before thread ordinal: worker ordinals depend on spawn timing,
+    // so under a fake clock (equal start times) sorting by name keeps the
+    // trace byte-stable run to run.
     events.sort_by(|a, b| {
-        (a.start_us, a.thread, &a.name, a.dur_us).cmp(&(b.start_us, b.thread, &b.name, b.dur_us))
+        (a.start_us, &a.name, a.dur_us, a.thread).cmp(&(b.start_us, &b.name, b.dur_us, b.thread))
     });
     Snapshot {
         counters,
         gauges,
         histograms,
         spans,
+        folded,
         events,
         events_dropped: state.agg.events_dropped,
     }

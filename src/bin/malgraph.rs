@@ -10,6 +10,8 @@
 //!                  [--windows N] [--threads N] [--verify]
 //! malgraph scan <file.pyl> [name]                    # detectors on one file
 //! malgraph stats [snapshot.json]                     # pretty-print a metrics snapshot
+//! malgraph perf diff <base.json> <new.json>          # regression sentinel
+//!                  [--threshold F] [--floor-us N] [--floor-count N] [--all]
 //! ```
 //!
 //! `ingest` replays the corpus as a sequence of disclosure-quantile
@@ -18,10 +20,19 @@
 //! additionally runs a one-shot build over the union corpus and checks
 //! the incremental graph against it node for node, edge for edge.
 //!
-//! `collect`, `analyze` and `scan` additionally accept the observability
-//! flags `--metrics-out <file>` (JSON snapshot, schema `malgraph-obs/1`),
-//! `--trace-out <file>` (Chrome trace-event JSON for `chrome://tracing` /
-//! Perfetto) and `--log-level <off|error|warn|info|debug|trace>`.
+//! `collect`, `analyze`, `ingest` and `scan` additionally accept the
+//! observability flags `--metrics-out <file>` (JSON snapshot, schema
+//! `malgraph-obs/2`), `--trace-out <file>` (Chrome trace-event JSON for
+//! `chrome://tracing` / Perfetto), `--profile-out <file>` (folded-stack
+//! self-time profile for flamegraph.pl/inferno, with allocation
+//! accounting switched on) and
+//! `--log-level <off|error|warn|info|debug|trace>`.
+//!
+//! `perf diff` loads two perf artifacts — obs snapshots (`malgraph-obs/1`
+//! or `/2`) or `BENCH_*.json` reports — and exits 1 when any span,
+//! counter, or timing grew past the noise thresholds; `ci.sh`'s
+//! `perf_gate` runs it against the baselines checked in under
+//! `baselines/`.
 //!
 //! `collect` + `analyze` round-trip through the export format, the flow a
 //! downstream lab would use with a published corpus. With `--fault-rate`
@@ -40,6 +51,12 @@ use malgraph::prelude::*;
 use malgraph::registry_sim::WindowPlan;
 use malgraph::{jsonio, obs};
 
+// Counting allocator: a transparent System passthrough until a profiling
+// flag calls `obs::alloc::enable_tracking()`, then spans charge their
+// allocation bytes/calls (surfaced by `--profile-out` and `--metrics-out`).
+#[global_allocator]
+static ALLOC: obs::alloc::CountingAlloc = obs::alloc::CountingAlloc::new();
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
@@ -49,9 +66,10 @@ fn main() {
         Some("ingest") => cmd_ingest(&args[1..]),
         Some("scan") => cmd_scan(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("perf") => cmd_perf(&args[1..]),
         _ => {
             eprintln!(
-                "usage: malgraph <world|collect|analyze|ingest|scan|stats> …\n\
+                "usage: malgraph <world|collect|analyze|ingest|scan|stats|perf> …\n\
                  \n\
                  world   [--seed N] [--scale F]\n\
                  collect [--seed N] [--scale F] --out corpus.json [--manifest-only]\n\
@@ -60,10 +78,14 @@ fn main() {
                  ingest  [--seed N] [--scale F] [--windows N] [--threads N] [--verify]\n\
                  scan <file.pyl> [package-name]\n\
                  stats   [snapshot.json]\n\
+                 perf diff <base.json> <new.json> [--threshold F] [--floor-us N]\n\
+                 \x20        [--floor-count N] [--all]\n\
                  \n\
                  collect/analyze/ingest/scan also accept:\n\
-                 \x20  --metrics-out FILE   write a metrics snapshot (malgraph-obs/1 JSON)\n\
+                 \x20  --metrics-out FILE   write a metrics snapshot (malgraph-obs/2 JSON)\n\
                  \x20  --trace-out FILE     write a Chrome trace (chrome://tracing, Perfetto)\n\
+                 \x20  --profile-out FILE   write a folded-stack self-time profile\n\
+                 \x20                       (flamegraph.pl/inferno input; enables alloc accounting)\n\
                  \x20  --log-level LEVEL    off|error|warn|info|debug|trace (default warn)"
             );
             2
@@ -81,6 +103,7 @@ enum Cmd {
     Ingest,
     Scan,
     Stats,
+    Perf,
 }
 
 impl Cmd {
@@ -92,6 +115,7 @@ impl Cmd {
             Cmd::Ingest => "ingest",
             Cmd::Scan => "scan",
             Cmd::Stats => "stats",
+            Cmd::Perf => "perf",
         }
     }
 
@@ -101,6 +125,7 @@ impl Cmd {
             Cmd::World | Cmd::Collect | Cmd::Analyze | Cmd::Ingest => 0,
             Cmd::Scan => 2,
             Cmd::Stats => 1,
+            Cmd::Perf => 3, // "diff" <base> <new>
         }
     }
 }
@@ -115,7 +140,10 @@ fn flag_cmds(flag: &str) -> Option<&'static [Cmd]> {
         "--threads" => &[Collect, Ingest],
         "--corpus" => &[Analyze],
         "--windows" | "--verify" => &[Ingest],
-        "--metrics-out" | "--trace-out" | "--log-level" => &[Collect, Analyze, Ingest, Scan],
+        "--metrics-out" | "--trace-out" | "--profile-out" | "--log-level" => {
+            &[Collect, Analyze, Ingest, Scan]
+        }
+        "--threshold" | "--floor-us" | "--floor-count" | "--all" => &[Perf],
         _ => return None,
     })
 }
@@ -134,7 +162,12 @@ struct CommonOpts {
     verify: bool,
     metrics_out: Option<String>,
     trace_out: Option<String>,
+    profile_out: Option<String>,
     log_level: Option<obs::Level>,
+    threshold: Option<f64>,
+    floor_us: Option<f64>,
+    floor_count: Option<f64>,
+    all: bool,
     positional: Vec<String>,
 }
 
@@ -153,7 +186,12 @@ fn parse_opts(cmd: Cmd, args: &[String]) -> CommonOpts {
         verify: false,
         metrics_out: None,
         trace_out: None,
+        profile_out: None,
         log_level: None,
+        threshold: None,
+        floor_us: None,
+        floor_count: None,
+        all: false,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -207,6 +245,29 @@ fn parse_opts(cmd: Cmd, args: &[String]) -> CommonOpts {
             "--verify" => opts.verify = true,
             "--metrics-out" => opts.metrics_out = Some(next_str(&mut it, "--metrics-out")),
             "--trace-out" => opts.trace_out = Some(next_str(&mut it, "--trace-out")),
+            "--profile-out" => opts.profile_out = Some(next_str(&mut it, "--profile-out")),
+            "--threshold" => {
+                let rel: f64 = next_parsed(&mut it, "--threshold");
+                if !rel.is_finite() || rel < 0.0 {
+                    die("--threshold must be a finite value >= 0 (e.g. 0.10 for 10%)");
+                }
+                opts.threshold = Some(rel);
+            }
+            "--floor-us" => {
+                let floor: f64 = next_parsed(&mut it, "--floor-us");
+                if !floor.is_finite() || floor < 0.0 {
+                    die("--floor-us must be a finite value >= 0");
+                }
+                opts.floor_us = Some(floor);
+            }
+            "--floor-count" => {
+                let floor: f64 = next_parsed(&mut it, "--floor-count");
+                if !floor.is_finite() || floor < 0.0 {
+                    die("--floor-count must be a finite value >= 0");
+                }
+                opts.floor_count = Some(floor);
+            }
+            "--all" => opts.all = true,
             "--log-level" => {
                 let raw = next_str(&mut it, "--log-level");
                 opts.log_level =
@@ -249,15 +310,20 @@ fn obs_setup(opts: &CommonOpts) {
     if let Some(level) = opts.log_level {
         obs::set_log_level(level);
     }
-    if opts.metrics_out.is_some() || opts.trace_out.is_some() {
+    if opts.metrics_out.is_some() || opts.trace_out.is_some() || opts.profile_out.is_some() {
         obs::enable();
+    }
+    if opts.profile_out.is_some() {
+        // Allocation accounting rides on the profile flag: the folded
+        // alloc columns and snapshot alloc fields come from the same run.
+        obs::alloc::enable_tracking();
     }
 }
 
 /// Writes the requested snapshot files. Called before the command's exit
 /// code is returned so `scan`'s non-zero exit still produces the files.
 fn obs_finish(opts: &CommonOpts) {
-    if opts.metrics_out.is_none() && opts.trace_out.is_none() {
+    if opts.metrics_out.is_none() && opts.trace_out.is_none() && opts.profile_out.is_none() {
         return;
     }
     let snapshot = obs::snapshot();
@@ -270,6 +336,17 @@ fn obs_finish(opts: &CommonOpts) {
         std::fs::write(path, snapshot.to_chrome_trace())
             .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
         eprintln!("wrote Chrome trace {path} (load in chrome://tracing or Perfetto)");
+    }
+    if let Some(path) = &opts.profile_out {
+        std::fs::write(path, snapshot.to_folded())
+            .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        let alloc_path = format!("{path}.alloc");
+        std::fs::write(&alloc_path, snapshot.to_folded_alloc())
+            .unwrap_or_else(|e| die(&format!("write {alloc_path}: {e}")));
+        eprintln!(
+            "wrote folded profiles {path} (self-µs) and {alloc_path} (self-bytes) \
+             (render with flamegraph.pl or inferno-flamegraph)"
+        );
     }
 }
 
@@ -568,6 +645,19 @@ fn fmt_micros(us: u64) -> String {
     }
 }
 
+/// Renders byte counts human-readably for the stats table.
+fn fmt_bytes(bytes: u64) -> String {
+    if bytes >= 1 << 30 {
+        format!("{:.2}GiB", bytes as f64 / (1u64 << 30) as f64)
+    } else if bytes >= 1 << 20 {
+        format!("{:.2}MiB", bytes as f64 / (1u64 << 20) as f64)
+    } else if bytes >= 1 << 10 {
+        format!("{:.2}KiB", bytes as f64 / 1024.0)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
 fn cmd_stats(args: &[String]) -> i32 {
     let opts = parse_opts(Cmd::Stats, args);
     let path = opts
@@ -583,29 +673,54 @@ fn cmd_stats(args: &[String]) -> i32 {
     });
     let value = jsonio::Value::parse(&json).unwrap_or_else(|e| die(&format!("{path}: {e}")));
     let schema = value.get("schema").and_then(|v| v.as_str()).unwrap_or("");
-    if schema != "malgraph-obs/1" {
+    if schema != "malgraph-obs/1" && schema != "malgraph-obs/2" {
         die(&format!(
-            "{path}: unsupported snapshot schema {schema:?} (expected \"malgraph-obs/1\")"
+            "{path}: unsupported snapshot schema {schema:?} (expected \"malgraph-obs/1\" or \
+             \"malgraph-obs/2\")"
         ));
     }
     println!("metrics snapshot {path} (schema {schema})");
 
+    // Name-sort every section: the writer emits sorted JSON, but hand-
+    // assembled or merged snapshots may not be, and the table must be
+    // deterministic either way.
     let section = |key: &str| -> Vec<(String, jsonio::Value)> {
-        value
+        let mut rows = value
             .get(key)
             .and_then(|v| v.as_object())
             .map(|entries| entries.to_vec())
-            .unwrap_or_default()
+            .unwrap_or_default();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
     };
 
     let spans = section("spans");
     if !spans.is_empty() {
+        // `/2` snapshots carry self-time and allocation columns.
+        let profiled = spans.iter().any(|(_, e)| e.get("self_us").is_some());
         println!("\n-- stages (span rollups)");
-        println!("{:<44} {:>7} {:>12}", "span", "count", "total");
+        if profiled {
+            println!(
+                "{:<44} {:>7} {:>12} {:>12} {:>12} {:>8}",
+                "span", "count", "total", "self", "alloc", "allocs"
+            );
+        } else {
+            println!("{:<44} {:>7} {:>12}", "span", "count", "total");
+        }
         for (name, entry) in &spans {
-            let count = entry.get("count").and_then(|v| v.as_u64()).unwrap_or(0);
-            let total = entry.get("total_us").and_then(|v| v.as_u64()).unwrap_or(0);
-            println!("{name:<44} {count:>7} {:>12}", fmt_micros(total));
+            let field = |k: &str| entry.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+            if profiled {
+                println!(
+                    "{name:<44} {:>7} {:>12} {:>12} {:>12} {:>8}",
+                    field("count"),
+                    fmt_micros(field("total_us")),
+                    fmt_micros(field("self_us")),
+                    fmt_bytes(field("alloc_bytes")),
+                    field("allocs")
+                );
+            } else {
+                println!("{name:<44} {:>7} {:>12}", field("count"), fmt_micros(field("total_us")));
+            }
         }
     }
 
@@ -646,4 +761,37 @@ fn cmd_stats(args: &[String]) -> i32 {
         println!("\n(events dropped past the retention cap: {dropped})");
     }
     0
+}
+
+fn cmd_perf(args: &[String]) -> i32 {
+    let opts = parse_opts(Cmd::Perf, args);
+    let [action, base_path, new_path] = opts.positional.as_slice() else {
+        die("perf requires: perf diff <base.json> <new.json>");
+    };
+    if action != "diff" {
+        die(&format!("unknown perf action {action:?} (expected \"diff\")"));
+    }
+    let mut thresholds = obs::baseline::Thresholds::default();
+    if let Some(rel) = opts.threshold {
+        thresholds.rel = rel;
+    }
+    if let Some(floor) = opts.floor_us {
+        thresholds.floor_us = floor;
+    }
+    if let Some(floor) = opts.floor_count {
+        thresholds.floor_count = floor;
+    }
+    let load = |path: &str| {
+        obs::baseline::PerfProfile::from_file(std::path::Path::new(path))
+            .unwrap_or_else(|e| die(&e))
+    };
+    let base = load(base_path);
+    let new = load(new_path);
+    let report = obs::baseline::diff(&base, &new, &thresholds);
+    print!("{}", report.render(opts.all));
+    if report.has_regressions() {
+        1
+    } else {
+        0
+    }
 }

@@ -134,7 +134,10 @@ fn flags_are_validated_per_subcommand() {
         (vec!["analyze", "--threads", "2", "--corpus", "x.json"], "--threads"),
         (vec!["scan", "--out", "x.json", "file.pyl"], "--out"),
         (vec!["world", "--metrics-out", "m.json"], "--metrics-out"),
+        (vec!["world", "--profile-out", "p.folded"], "--profile-out"),
         (vec!["stats", "--seed", "5"], "--seed"),
+        (vec!["collect", "--threshold", "0.1", "--out", "x.json"], "--threshold"),
+        (vec!["perf", "--metrics-out", "m.json", "diff", "a", "b"], "--metrics-out"),
     ] {
         let out = bin().args(&args).output().expect("binary runs");
         assert_eq!(out.status.code(), Some(2), "{args:?} must be rejected");
@@ -180,7 +183,7 @@ fn collect_writes_metrics_and_trace_files_and_stats_reads_them_back() {
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
 
     let metrics_json = std::fs::read_to_string(&metrics).expect("metrics file written");
-    assert!(metrics_json.contains("\"schema\": \"malgraph-obs/1\""), "{metrics_json}");
+    assert!(metrics_json.contains("\"schema\": \"malgraph-obs/2\""), "{metrics_json}");
     assert!(metrics_json.contains("crawler.attempts"), "{metrics_json}");
     assert!(metrics_json.contains("collect/feeds"), "{metrics_json}");
     let trace_json = std::fs::read_to_string(&trace).expect("trace file written");
@@ -218,6 +221,199 @@ fn stats_rejects_missing_and_foreign_files() {
         .expect("binary runs");
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unsupported snapshot schema"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_sorts_rows_by_name_even_for_unsorted_input() {
+    let dir = std::env::temp_dir().join(format!("malgraph-sort-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    // A legacy (schema /1), deliberately unsorted snapshot: the table
+    // must come out name-sorted regardless of file order.
+    let snapshot = dir.join("unsorted.json");
+    std::fs::write(
+        &snapshot,
+        r#"{
+  "schema": "malgraph-obs/1",
+  "counters": {"zz.last": 1, "aa.first": 2, "mm.middle": 3},
+  "gauges": {},
+  "histograms": {},
+  "spans": {"zeta/stage": {"count": 1, "total_us": 5}, "alpha/stage": {"count": 1, "total_us": 9}},
+  "events_dropped": 0
+}"#,
+    )
+    .unwrap();
+    let out = bin()
+        .args(["stats", snapshot.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let pos = |needle: &str| text.find(needle).unwrap_or_else(|| panic!("{needle} missing: {text}"));
+    assert!(pos("alpha/stage") < pos("zeta/stage"), "spans must be name-sorted: {text}");
+    assert!(
+        pos("aa.first") < pos("mm.middle") && pos("mm.middle") < pos("zz.last"),
+        "counters must be name-sorted: {text}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn perf_diff_passes_identical_and_catches_injected_regression() {
+    let dir = std::env::temp_dir().join(format!("malgraph-perf-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = dir.join("base.json");
+    let slow = dir.join("slow.json");
+    // A quick-bench-shaped report; `slow` injects a 10.1% regression
+    // into one stage time.
+    std::fs::write(
+        &base,
+        r#"{"bench": "demo", "full_build_ms": 1000, "delta_ingest_ms": 130, "speedup": 7.7}"#,
+    )
+    .unwrap();
+    std::fs::write(
+        &slow,
+        r#"{"bench": "demo", "full_build_ms": 1101, "delta_ingest_ms": 130, "speedup": 7.0}"#,
+    )
+    .unwrap();
+
+    // Identical snapshots diff clean and exit 0.
+    let out = bin()
+        .args(["perf", "diff", base.to_str().unwrap(), base.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("0 regressed"), "{text}");
+
+    // The injected regression fails the gate with exit 1 and names the
+    // offending metric. The speedup drop is informational, not a failure.
+    let out = bin()
+        .args(["perf", "diff", base.to_str().unwrap(), slow.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "a 10.1% regression must fail the gate");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("full_build_ms"), "{text}");
+    assert!(text.contains("REGRESSED"), "{text}");
+    assert!(text.contains("1 regressed"), "{text}");
+
+    // A looser threshold waves the same delta through.
+    let out = bin()
+        .args([
+            "perf",
+            "diff",
+            base.to_str().unwrap(),
+            slow.to_str().unwrap(),
+            "--threshold",
+            "0.25",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+
+    // Usage errors: missing paths, unknown action, unreadable file.
+    let out = bin().args(["perf", "diff"]).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin()
+        .args(["perf", "compare", base.to_str().unwrap(), slow.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown perf action"));
+    let out = bin()
+        .args(["perf", "diff", "/nonexistent/base.json", slow.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn perf_diff_reads_real_metrics_snapshots() {
+    let dir = std::env::temp_dir().join(format!("malgraph-perfsnap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus = dir.join("corpus.json");
+    let metrics = dir.join("metrics.json");
+    let out = bin()
+        .args([
+            "collect",
+            "--seed",
+            "5",
+            "--scale",
+            "0.02",
+            "--out",
+            corpus.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // A real malgraph-obs/2 snapshot diffed against itself: clean pass.
+    let out = bin()
+        .args(["perf", "diff", metrics.to_str().unwrap(), metrics.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("0 regressed"), "{text}");
+    assert!(!text.contains("0 compared"), "snapshot entries must load: {text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn profile_out_writes_folded_stacks_with_alloc_weights() {
+    let dir = std::env::temp_dir().join(format!("malgraph-folded-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let corpus = dir.join("corpus.json");
+    let profile = dir.join("profile.folded");
+    let out = bin()
+        .args([
+            "collect",
+            "--seed",
+            "5",
+            "--scale",
+            "0.02",
+            "--out",
+            corpus.to_str().unwrap(),
+            "--profile-out",
+            profile.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Folded self-time profile: `parent;child value` lines, nested
+    // collect stages under the collect root.
+    let folded = std::fs::read_to_string(&profile).expect("profile written");
+    assert!(folded.lines().any(|l| l.starts_with("collect ")), "{folded}");
+    assert!(folded.lines().any(|l| l.starts_with("collect;collect/feeds ")), "{folded}");
+    assert!(
+        folded
+            .lines()
+            .any(|l| l.starts_with("collect;collect/feeds;collect/feeds/source=")),
+        "per-source spans must nest under the feeds stage: {folded}"
+    );
+    for line in folded.lines() {
+        let (stack, value) = line.rsplit_once(' ').expect("stack <value> shape");
+        assert!(!stack.is_empty());
+        value.parse::<u64>().expect("integer weight");
+    }
+
+    // The sibling .alloc profile carries self-allocated bytes and the
+    // counting allocator was live: at least one frame is non-zero.
+    let alloc = std::fs::read_to_string(format!("{}.alloc", profile.to_str().unwrap()))
+        .expect("alloc profile written");
+    let weights: Vec<u64> = alloc
+        .lines()
+        .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+        .collect();
+    assert!(weights.iter().any(|&w| w > 0), "alloc accounting recorded nothing: {alloc}");
+
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -1,8 +1,9 @@
-//! Golden tests for the three exporter formats. The byte-exact expected
+//! Golden tests for the four exporter formats. The byte-exact expected
 //! strings below ARE the schema contract: any change to an exporter that
 //! alters them is a breaking change for downstream consumers
-//! (`malgraph stats`, Prometheus scrapers, `chrome://tracing`) and must
-//! bump the `malgraph-obs/1` schema id.
+//! (`malgraph stats`, `malgraph perf diff`, Prometheus scrapers,
+//! `chrome://tracing`, flamegraph.pl) and must bump the `malgraph-obs/2`
+//! schema id.
 
 use malgraph::obs;
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
@@ -32,9 +33,9 @@ fn fixture_snapshot() -> obs::Snapshot {
     clock.advance_micros(500);
     let inner = obs::span!("build/similar/ecosystem=npm");
     clock.advance_micros(200);
-    drop(inner); // closes at 800: start 600, dur 200
+    drop(inner); // closes at 800: start 600, dur 200, all self time
     clock.advance_micros(100);
-    drop(outer); // closes at 900: start 100, dur 800
+    drop(outer); // closes at 900: start 100, dur 800, self 600
 
     let snapshot = obs::snapshot();
     obs::disable();
@@ -45,8 +46,10 @@ fn fixture_snapshot() -> obs::Snapshot {
 fn json_export_matches_the_schema_golden() {
     let _guard = lock();
     let snapshot = fixture_snapshot();
+    // No counting allocator is installed in this test binary, so the
+    // alloc fields are structurally present but zero.
     let expected = r#"{
-  "schema": "malgraph-obs/1",
+  "schema": "malgraph-obs/2",
   "counters": {
     "build.edges_added{relation=similar}": 7,
     "kmeans.iterations": 3
@@ -58,13 +61,30 @@ fn json_export_matches_the_schema_golden() {
     "transport.backoff_ms": {"count": 3, "sum": 2000251, "min": 1, "max": 2000000, "buckets": [1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1]}
   },
   "spans": {
-    "build": {"count": 1, "total_us": 800},
-    "build/similar/ecosystem=npm": {"count": 1, "total_us": 200}
+    "build": {"count": 1, "total_us": 800, "self_us": 600, "alloc_bytes": 0, "allocs": 0},
+    "build/similar/ecosystem=npm": {"count": 1, "total_us": 200, "self_us": 200, "alloc_bytes": 0, "allocs": 0}
   },
   "events_dropped": 0
 }
 "#;
     assert_eq!(snapshot.to_json(), expected);
+}
+
+#[test]
+fn folded_export_matches_the_schema_golden() {
+    let _guard = lock();
+    let snapshot = fixture_snapshot();
+    // Self-time weights: the inner span's 200µs belong to it alone, the
+    // outer span keeps 800 − 200 = 600µs. Paths are sorted, lines are
+    // newline-terminated — flamegraph.pl/inferno input, byte for byte.
+    assert_eq!(
+        snapshot.to_folded(),
+        "build 600\nbuild;build/similar/ecosystem=npm 200\n"
+    );
+    assert_eq!(
+        snapshot.to_folded_alloc(),
+        "build 0\nbuild;build/similar/ecosystem=npm 0\n"
+    );
 }
 
 #[test]
@@ -104,6 +124,9 @@ transport_backoff_ms_count 3
 # TYPE obs_span_total_us counter
 obs_span_total_us{span=\"build\"} 800
 obs_span_total_us{span=\"build/similar/ecosystem=npm\"} 200
+# TYPE obs_span_self_us counter
+obs_span_self_us{span=\"build\"} 600
+obs_span_self_us{span=\"build/similar/ecosystem=npm\"} 200
 # TYPE obs_span_count counter
 obs_span_count{span=\"build\"} 1
 obs_span_count{span=\"build/similar/ecosystem=npm\"} 1
@@ -125,6 +148,42 @@ fn chrome_trace_export_matches_the_schema_golden() {
 }
 
 #[test]
+fn chrome_trace_keeps_worker_shards_on_distinct_tid_rows() {
+    let _guard = lock();
+    let clock = Arc::new(obs::FakeClock::default());
+    obs::enable_with_clock(clock.clone() as Arc<dyn obs::Clock>);
+    obs::reset();
+
+    clock.set_micros(100);
+    obs::span!("main-stage").finish();
+    // Two worker threads, joined in turn so the event timeline is fully
+    // scripted; each records one span on its own registry shard.
+    for (name, start) in [("worker-a", 200u64), ("worker-b", 300u64)] {
+        let clock = clock.clone();
+        std::thread::spawn(move || {
+            clock.set_micros(start);
+            obs::span!("{}", name).finish();
+        })
+        .join()
+        .expect("worker");
+    }
+    let snapshot = obs::snapshot();
+    obs::disable();
+
+    // tids are renumbered densely by first appearance in the
+    // time-sorted event list, so the export is byte-stable even though
+    // raw registry thread ordinals depend on spawn order history.
+    let expected = "\
+{\"displayTimeUnit\":\"ms\",\"traceEvents\":[
+{\"name\":\"main-stage\",\"cat\":\"obs\",\"ph\":\"X\",\"ts\":100,\"dur\":0,\"pid\":1,\"tid\":1},
+{\"name\":\"worker-a\",\"cat\":\"obs\",\"ph\":\"X\",\"ts\":200,\"dur\":0,\"pid\":1,\"tid\":2},
+{\"name\":\"worker-b\",\"cat\":\"obs\",\"ph\":\"X\",\"ts\":300,\"dur\":0,\"pid\":1,\"tid\":3}
+]}
+";
+    assert_eq!(snapshot.to_chrome_trace(), expected);
+}
+
+#[test]
 fn empty_snapshot_exports_are_well_formed() {
     let _guard = lock();
     obs::enable();
@@ -133,9 +192,11 @@ fn empty_snapshot_exports_are_well_formed() {
     obs::disable();
     assert_eq!(
         snapshot.to_json(),
-        "{\n  \"schema\": \"malgraph-obs/1\",\n  \"counters\": {},\n  \"gauges\": {},\n  \
+        "{\n  \"schema\": \"malgraph-obs/2\",\n  \"counters\": {},\n  \"gauges\": {},\n  \
          \"histograms\": {},\n  \"spans\": {},\n  \"events_dropped\": 0\n}\n"
     );
     assert_eq!(snapshot.to_prometheus(), "");
     assert_eq!(snapshot.to_chrome_trace(), "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n");
+    assert_eq!(snapshot.to_folded(), "");
+    assert_eq!(snapshot.to_folded_alloc(), "");
 }

@@ -1,5 +1,7 @@
-//! The observability contract: enabling `obs` must not change a single
-//! byte of pipeline output, at any thread count.
+//! The observability contract: enabling `obs` — now including self-time
+//! attribution and allocation accounting through the counting global
+//! allocator — must not change a single byte of pipeline output, at any
+//! thread count.
 //!
 //! One test function on purpose — the `obs` registry is process-global,
 //! so enable/disable transitions are sequenced in a single place instead
@@ -9,6 +11,11 @@ use malgraph::crawler::{collect_with, export_json, CollectOptions, ExportFidelit
 use malgraph::obs;
 use malgraph::prelude::*;
 use std::fmt::Write as _;
+
+// Same allocator setup as the malgraph CLI: the instrumented arm runs
+// with allocation tracking live.
+#[global_allocator]
+static ALLOC: obs::alloc::CountingAlloc = obs::alloc::CountingAlloc::new();
 
 /// A canonical rendering of the whole graph: every node in insertion
 /// order with its ordered out-edge list. Bitwise equality of signatures
@@ -46,9 +53,11 @@ fn instrumented_runs_are_bitwise_identical_to_uninstrumented() {
         let (json_off, graph_off) = run_pipeline(&world, threads);
 
         obs::enable();
+        obs::alloc::enable_tracking();
         obs::reset();
         let (json_on, graph_on) = run_pipeline(&world, threads);
         let snapshot = obs::snapshot();
+        obs::alloc::disable_tracking();
         obs::disable();
 
         assert_eq!(
@@ -79,6 +88,25 @@ fn instrumented_runs_are_bitwise_identical_to_uninstrumented() {
         assert!(
             snapshot.spans.iter().any(|s| s.name.starts_with("build/similar/ecosystem=")),
             "no per-ecosystem similarity span in snapshot"
+        );
+        // The profiling layer was live: self time is attributed, the
+        // folded profile nests the per-ecosystem spans under the stage
+        // span (also across the worker threads), and allocations are
+        // charged through the counting allocator.
+        assert!(
+            snapshot.spans.iter().any(|s| s.self_us > 0 && s.self_us <= s.total_us),
+            "no self-time attribution in snapshot"
+        );
+        assert!(
+            snapshot
+                .folded
+                .iter()
+                .any(|f| f.stack.starts_with("build;build/similar;build/similar/ecosystem=")),
+            "worker-thread spans must fold under their spawning stage"
+        );
+        assert!(
+            snapshot.spans.iter().any(|s| s.alloc_bytes > 0 && s.allocs > 0),
+            "no allocation accounting in snapshot"
         );
 
         // Identical output across thread counts, instrumented or not.
