@@ -89,6 +89,20 @@ cargo test -q -p malgraph-bench --test ingest_equivalence
 echo "== ingest_bench --quick"
 cargo run --release -q -p malgraph-bench --bin ingest_bench -- --quick
 
+# The crash-recovery gates (PR 10), run explicitly for the same reason:
+#  * crash_recovery — the deterministic crash-fault injection matrix:
+#    every named crash point × {1, 7} similarity threads × {clean
+#    resume, corrupted-latest-checkpoint fallback} resumes to a graph
+#    byte-identical to an uninterrupted build, with the recovery.*
+#    counters matching a prediction derived purely from on-disk state;
+#  * recovery_bench --quick — a staged final-window crash resumed
+#    end-to-end, identity asserted against the cold rebuild before any
+#    time is written to BENCH_PR10_quick.json.
+echo "== cargo test -q -p malgraph-bench --test crash_recovery"
+cargo test -q -p malgraph-bench --test crash_recovery
+echo "== recovery_bench --quick"
+cargo run --release -q -p malgraph-bench --bin recovery_bench -- --quick
+
 # The profiling gate (PR 9): the folded self-time profile of the full
 # pipeline (world → collect → build → 23 analysis sections) is
 # byte-identical at 1 and 7 worker threads under a fake clock — span
@@ -108,7 +122,7 @@ cargo test -q -p malgraph-bench --test profile_equivalence
 #   MALGRAPH_PERF_ACCEPT=1 ./ci.sh
 echo "== perf_gate (malgraph perf diff vs baselines/)"
 cargo build --release -q --bin malgraph
-for bench in BENCH_PR6_quick BENCH_PR7_quick BENCH_PR8_quick; do
+for bench in BENCH_PR6_quick BENCH_PR7_quick BENCH_PR8_quick BENCH_PR10_quick; do
     if [[ "${MALGRAPH_PERF_ACCEPT:-}" == "1" ]]; then
         cp "$bench.json" "baselines/$bench.json"
         echo "perf_gate: accepted $bench.json as the new baseline"

@@ -10,8 +10,16 @@
 //!   publishes (archives are withheld);
 //! * [`ExportFidelity::Full`] — additionally the recovered archives, the
 //!   form a cooperating lab would exchange.
+//!
+//! Serialization is split into *value* builders/readers
+//! ([`dataset_value`] / [`dataset_from_value`], and the
+//! [`CorpusDelta`] pair [`delta_value`] / [`delta_from_value`] used by
+//! the checkpoint write-ahead journal) and thin string wrappers, so the
+//! checkpoint layer can embed a corpus inside a larger snapshot document
+//! without re-rendering or re-parsing the JSON text.
 
 use crate::dataset::{CollectedDataset, CollectedPackage, CollectedReport};
+use crate::windows::CorpusDelta;
 use crate::registry::RegistryMeta;
 use crate::sources::Archive;
 use crate::transport::{CollectionHealth, FetchHealth};
@@ -81,65 +89,58 @@ fn archive_value(archive: &Archive) -> jsonio::Value {
     }
 }
 
-/// Serializes the corpus as pretty-printed JSON.
-///
-/// # Errors
-///
-/// Returns [`ExportError`] if serialization fails (it cannot for
-/// well-formed corpora; the error path exists for API honesty).
-pub fn export_json(
-    dataset: &CollectedDataset,
-    fidelity: ExportFidelity,
-) -> Result<String, ExportError> {
+/// Builds the manifest entry of one collected package.
+fn package_value(p: &CollectedPackage, fidelity: ExportFidelity) -> jsonio::Value {
+    let mentions: Vec<jsonio::Value> = p
+        .mentions
+        .iter()
+        .map(|(source, at)| jsonio::Value::Array(vec![source.slug().into(), time_value(*at)]))
+        .collect();
+    let jsonio::Value::Object(mut members) = (jsonio::object! {
+        "id": p.id.to_string(),
+        "mentions": mentions,
+        "sha256": p.signature.map(|s| s.to_string()),
+        "recovered_from_mirror": p.recovered_from_mirror,
+        "mirror_recoverable": p.mirror_recoverable,
+        "meta": p.meta.map(|m| jsonio::object! {
+            "released": time_value(m.released),
+            "removed": opt_time_value(m.removed),
+            "downloads": m.downloads,
+        }),
+    }) else {
+        unreachable!("object! builds an object");
+    };
+    // Archives are withheld entirely in manifest-only exports:
+    // the key itself is absent, not null.
+    if fidelity == ExportFidelity::Full {
+        if let Some(archive) = &p.archive {
+            members.push(("archive".to_string(), archive_value(archive)));
+        }
+    }
+    jsonio::Value::Object(members)
+}
+
+/// Builds the manifest entry of one collected report.
+fn report_value(r: &CollectedReport) -> jsonio::Value {
+    jsonio::object! {
+        "website": r.website.as_str(),
+        "category": category_slug(r.category),
+        "published": opt_time_value(r.published),
+        "title": r.title.as_str(),
+        "packages": r.packages.iter().map(|p| p.to_string()).collect::<Vec<_>>(),
+        "actor": r.actor.clone(),
+    }
+}
+
+/// Builds the manifest document of a corpus as a [`jsonio::Value`] —
+/// the embeddable form of [`export_json`].
+pub fn dataset_value(dataset: &CollectedDataset, fidelity: ExportFidelity) -> jsonio::Value {
     let packages: Vec<jsonio::Value> = dataset
         .packages
         .iter()
-        .map(|p| {
-            let mentions: Vec<jsonio::Value> = p
-                .mentions
-                .iter()
-                .map(|(source, at)| {
-                    jsonio::Value::Array(vec![source.slug().into(), time_value(*at)])
-                })
-                .collect();
-            let jsonio::Value::Object(mut members) = (jsonio::object! {
-                "id": p.id.to_string(),
-                "mentions": mentions,
-                "sha256": p.signature.map(|s| s.to_string()),
-                "recovered_from_mirror": p.recovered_from_mirror,
-                "mirror_recoverable": p.mirror_recoverable,
-                "meta": p.meta.map(|m| jsonio::object! {
-                    "released": time_value(m.released),
-                    "removed": opt_time_value(m.removed),
-                    "downloads": m.downloads,
-                }),
-            }) else {
-                unreachable!("object! builds an object");
-            };
-            // Archives are withheld entirely in manifest-only exports:
-            // the key itself is absent, not null.
-            if fidelity == ExportFidelity::Full {
-                if let Some(archive) = &p.archive {
-                    members.push(("archive".to_string(), archive_value(archive)));
-                }
-            }
-            jsonio::Value::Object(members)
-        })
+        .map(|p| package_value(p, fidelity))
         .collect();
-    let reports: Vec<jsonio::Value> = dataset
-        .reports
-        .iter()
-        .map(|r| {
-            jsonio::object! {
-                "website": r.website.as_str(),
-                "category": category_slug(r.category),
-                "published": opt_time_value(r.published),
-                "title": r.title.as_str(),
-                "packages": r.packages.iter().map(|p| p.to_string()).collect::<Vec<_>>(),
-                "actor": r.actor.clone(),
-            }
-        })
-        .collect();
+    let reports: Vec<jsonio::Value> = dataset.reports.iter().map(report_value).collect();
     let jsonio::Value::Object(mut manifest) = (jsonio::object! {
         "format_version": 1u32,
         "collect_time": time_value(dataset.collect_time),
@@ -154,7 +155,20 @@ pub fn export_json(
     if let Some(health) = &dataset.health {
         manifest.push(("health".to_string(), health_value(health)));
     }
-    Ok(jsonio::Value::Object(manifest).to_pretty())
+    jsonio::Value::Object(manifest)
+}
+
+/// Serializes the corpus as pretty-printed JSON.
+///
+/// # Errors
+///
+/// Returns [`ExportError`] if serialization fails (it cannot for
+/// well-formed corpora; the error path exists for API honesty).
+pub fn export_json(
+    dataset: &CollectedDataset,
+    fidelity: ExportFidelity,
+) -> Result<String, ExportError> {
+    Ok(dataset_value(dataset, fidelity).to_pretty())
 }
 
 /// Deserializes a corpus previously written by [`export_json`].
@@ -170,7 +184,135 @@ pub fn import_json(json: &str) -> Result<CollectedDataset, ExportError> {
     let root = jsonio::Value::parse(json).map_err(|e| ExportError {
         message: format!("malformed manifest: {e}"),
     })?;
-    let format_version = require(&root, "format_version")?
+    dataset_from_value(&root)
+}
+
+/// Reads one package entry of a manifest, re-verifying its signature
+/// against the archive when both are present.
+fn read_package(entry: &jsonio::Value) -> Result<CollectedPackage, ExportError> {
+    let raw_id = require(entry, "id")?.as_str().ok_or_else(|| bad_field("id"))?;
+    let id: PackageId = raw_id.parse().map_err(|e| ExportError {
+        message: format!("bad package id {raw_id:?}: {e}"),
+    })?;
+    let mut mentions = Vec::new();
+    for pair in require(entry, "mentions")?
+        .as_array()
+        .ok_or_else(|| bad_field("mentions"))?
+    {
+        let items = pair.as_array().ok_or_else(|| bad_field("mentions"))?;
+        let (Some(source), Some(at)) = (items.first(), items.get(1)) else {
+            return Err(bad_field("mentions"));
+        };
+        let source: SourceId = source
+            .as_str()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad_field("mentions"))?;
+        let at = read_time(at).ok_or_else(|| bad_field("mentions"))?;
+        mentions.push((source, at));
+    }
+    let signature = match require(entry, "sha256")? {
+        jsonio::Value::Null => None,
+        value => Some(parse_sha256(
+            value.as_str().ok_or_else(|| bad_field("sha256"))?,
+        )?),
+    };
+    let archive = match entry.get("archive") {
+        None | Some(jsonio::Value::Null) => None,
+        Some(value) => Some(read_archive(value)?),
+    };
+    if let (Some(signature), Some(archive)) = (signature, &archive) {
+        let recomputed = registry_sim::campaign::artifact_signature(
+            &id,
+            &archive.description,
+            &archive.dependencies,
+            &archive.code,
+        );
+        if recomputed != signature {
+            return Err(ExportError {
+                message: format!("signature mismatch for {id}"),
+            });
+        }
+    }
+    let meta = match require(entry, "meta")? {
+        jsonio::Value::Null => None,
+        value => Some(RegistryMeta {
+            released: read_time(require(value, "released")?)
+                .ok_or_else(|| bad_field("meta.released"))?,
+            removed: match require(value, "removed")? {
+                jsonio::Value::Null => None,
+                at => Some(read_time(at).ok_or_else(|| bad_field("meta.removed"))?),
+            },
+            downloads: require(value, "downloads")?
+                .as_u64()
+                .ok_or_else(|| bad_field("meta.downloads"))?,
+        }),
+    };
+    Ok(CollectedPackage {
+        id,
+        mentions,
+        archive,
+        signature,
+        recovered_from_mirror: require(entry, "recovered_from_mirror")?
+            .as_bool()
+            .ok_or_else(|| bad_field("recovered_from_mirror"))?,
+        mirror_recoverable: require(entry, "mirror_recoverable")?
+            .as_bool()
+            .ok_or_else(|| bad_field("mirror_recoverable"))?,
+        meta,
+    })
+}
+
+/// Reads one report entry of a manifest.
+fn read_report(entry: &jsonio::Value) -> Result<CollectedReport, ExportError> {
+    let mut ids = Vec::new();
+    for raw in require(entry, "packages")?
+        .as_array()
+        .ok_or_else(|| bad_field("report packages"))?
+    {
+        let raw = raw.as_str().ok_or_else(|| bad_field("report packages"))?;
+        ids.push(raw.parse().map_err(|e| ExportError {
+            message: format!("bad report package id {raw:?}: {e}"),
+        })?);
+    }
+    Ok(CollectedReport {
+        website: require(entry, "website")?
+            .as_str()
+            .ok_or_else(|| bad_field("website"))?
+            .to_string(),
+        category: require(entry, "category")?
+            .as_str()
+            .and_then(parse_category)
+            .ok_or_else(|| bad_field("category"))?,
+        published: match require(entry, "published")? {
+            jsonio::Value::Null => None,
+            at => Some(read_time(at).ok_or_else(|| bad_field("published"))?),
+        },
+        title: require(entry, "title")?
+            .as_str()
+            .ok_or_else(|| bad_field("title"))?
+            .to_string(),
+        packages: ids,
+        actor: match require(entry, "actor")? {
+            jsonio::Value::Null => None,
+            value => Some(
+                value
+                    .as_str()
+                    .ok_or_else(|| bad_field("actor"))?
+                    .to_string(),
+            ),
+        },
+    })
+}
+
+/// Reads a corpus manifest already parsed into a [`jsonio::Value`] —
+/// the embeddable form of [`import_json`].
+///
+/// # Errors
+///
+/// Returns [`ExportError`] on unknown format versions, unparseable
+/// identities or signature mismatches.
+pub fn dataset_from_value(root: &jsonio::Value) -> Result<CollectedDataset, ExportError> {
+    let format_version = require(root, "format_version")?
         .as_u64()
         .ok_or_else(|| bad_field("format_version"))?;
     if format_version != 1 {
@@ -178,131 +320,25 @@ pub fn import_json(json: &str) -> Result<CollectedDataset, ExportError> {
             message: format!("unsupported format version {format_version}"),
         });
     }
-    let collect_time = read_time(require(&root, "collect_time")?).ok_or_else(|| bad_field("collect_time"))?;
-    let website_count = require(&root, "website_count")?
+    let collect_time = read_time(require(root, "collect_time")?).ok_or_else(|| bad_field("collect_time"))?;
+    let website_count = require(root, "website_count")?
         .as_u64()
         .ok_or_else(|| bad_field("website_count"))? as usize;
 
-    let package_entries = require(&root, "packages")?
+    let package_entries = require(root, "packages")?
         .as_array()
         .ok_or_else(|| bad_field("packages"))?;
     let mut packages = Vec::with_capacity(package_entries.len());
     for entry in package_entries {
-        let raw_id = require(entry, "id")?.as_str().ok_or_else(|| bad_field("id"))?;
-        let id: PackageId = raw_id.parse().map_err(|e| ExportError {
-            message: format!("bad package id {raw_id:?}: {e}"),
-        })?;
-        let mut mentions = Vec::new();
-        for pair in require(entry, "mentions")?
-            .as_array()
-            .ok_or_else(|| bad_field("mentions"))?
-        {
-            let items = pair.as_array().ok_or_else(|| bad_field("mentions"))?;
-            let (Some(source), Some(at)) = (items.first(), items.get(1)) else {
-                return Err(bad_field("mentions"));
-            };
-            let source: SourceId = source
-                .as_str()
-                .and_then(|s| s.parse().ok())
-                .ok_or_else(|| bad_field("mentions"))?;
-            let at = read_time(at).ok_or_else(|| bad_field("mentions"))?;
-            mentions.push((source, at));
-        }
-        let signature = match require(entry, "sha256")? {
-            jsonio::Value::Null => None,
-            value => Some(parse_sha256(
-                value.as_str().ok_or_else(|| bad_field("sha256"))?,
-            )?),
-        };
-        let archive = match entry.get("archive") {
-            None | Some(jsonio::Value::Null) => None,
-            Some(value) => Some(read_archive(value)?),
-        };
-        if let (Some(signature), Some(archive)) = (signature, &archive) {
-            let recomputed = registry_sim::campaign::artifact_signature(
-                &id,
-                &archive.description,
-                &archive.dependencies,
-                &archive.code,
-            );
-            if recomputed != signature {
-                return Err(ExportError {
-                    message: format!("signature mismatch for {id}"),
-                });
-            }
-        }
-        let meta = match require(entry, "meta")? {
-            jsonio::Value::Null => None,
-            value => Some(RegistryMeta {
-                released: read_time(require(value, "released")?)
-                    .ok_or_else(|| bad_field("meta.released"))?,
-                removed: match require(value, "removed")? {
-                    jsonio::Value::Null => None,
-                    at => Some(read_time(at).ok_or_else(|| bad_field("meta.removed"))?),
-                },
-                downloads: require(value, "downloads")?
-                    .as_u64()
-                    .ok_or_else(|| bad_field("meta.downloads"))?,
-            }),
-        };
-        packages.push(CollectedPackage {
-            id,
-            mentions,
-            archive,
-            signature,
-            recovered_from_mirror: require(entry, "recovered_from_mirror")?
-                .as_bool()
-                .ok_or_else(|| bad_field("recovered_from_mirror"))?,
-            mirror_recoverable: require(entry, "mirror_recoverable")?
-                .as_bool()
-                .ok_or_else(|| bad_field("mirror_recoverable"))?,
-            meta,
-        });
+        packages.push(read_package(entry)?);
     }
 
-    let report_entries = require(&root, "reports")?
+    let report_entries = require(root, "reports")?
         .as_array()
         .ok_or_else(|| bad_field("reports"))?;
     let mut reports = Vec::with_capacity(report_entries.len());
     for entry in report_entries {
-        let mut ids = Vec::new();
-        for raw in require(entry, "packages")?
-            .as_array()
-            .ok_or_else(|| bad_field("report packages"))?
-        {
-            let raw = raw.as_str().ok_or_else(|| bad_field("report packages"))?;
-            ids.push(raw.parse().map_err(|e| ExportError {
-                message: format!("bad report package id {raw:?}: {e}"),
-            })?);
-        }
-        reports.push(CollectedReport {
-            website: require(entry, "website")?
-                .as_str()
-                .ok_or_else(|| bad_field("website"))?
-                .to_string(),
-            category: require(entry, "category")?
-                .as_str()
-                .and_then(parse_category)
-                .ok_or_else(|| bad_field("category"))?,
-            published: match require(entry, "published")? {
-                jsonio::Value::Null => None,
-                at => Some(read_time(at).ok_or_else(|| bad_field("published"))?),
-            },
-            title: require(entry, "title")?
-                .as_str()
-                .ok_or_else(|| bad_field("title"))?
-                .to_string(),
-            packages: ids,
-            actor: match require(entry, "actor")? {
-                jsonio::Value::Null => None,
-                value => Some(
-                    value
-                        .as_str()
-                        .ok_or_else(|| bad_field("actor"))?
-                        .to_string(),
-                ),
-            },
-        });
+        reports.push(read_report(entry)?);
     }
     let health = match root.get("health") {
         None | Some(jsonio::Value::Null) => None,
@@ -315,6 +351,88 @@ pub fn import_json(json: &str) -> Result<CollectedDataset, ExportError> {
         collect_time,
         health,
     })
+}
+
+/// Builds the write-ahead-journal document of one collection window.
+/// Deltas are always serialized at full fidelity: the journal must be
+/// lossless or replay could not reproduce the uninterrupted corpus.
+pub fn delta_value(delta: &CorpusDelta) -> jsonio::Value {
+    jsonio::object! {
+        "format_version": 1u32,
+        "window": delta.window as u64,
+        "start": time_value(delta.start),
+        "end": time_value(delta.end),
+        "website_count": delta.website_count,
+        "collect_time": time_value(delta.collect_time),
+        "packages": delta
+            .packages
+            .iter()
+            .map(|p| package_value(p, ExportFidelity::Full))
+            .collect::<Vec<_>>(),
+        "reports": delta.reports.iter().map(report_value).collect::<Vec<_>>(),
+    }
+}
+
+/// Reads a journal document back into a [`CorpusDelta`].
+///
+/// # Errors
+///
+/// Returns [`ExportError`] on unknown format versions or any malformed
+/// field, exactly like [`dataset_from_value`].
+pub fn delta_from_value(root: &jsonio::Value) -> Result<CorpusDelta, ExportError> {
+    let format_version = require(root, "format_version")?
+        .as_u64()
+        .ok_or_else(|| bad_field("format_version"))?;
+    if format_version != 1 {
+        return Err(ExportError {
+            message: format!("unsupported delta format version {format_version}"),
+        });
+    }
+    let mut packages = Vec::new();
+    for entry in require(root, "packages")?
+        .as_array()
+        .ok_or_else(|| bad_field("packages"))?
+    {
+        packages.push(read_package(entry)?);
+    }
+    let mut reports = Vec::new();
+    for entry in require(root, "reports")?
+        .as_array()
+        .ok_or_else(|| bad_field("reports"))?
+    {
+        reports.push(read_report(entry)?);
+    }
+    Ok(CorpusDelta {
+        window: require(root, "window")?
+            .as_u64()
+            .ok_or_else(|| bad_field("window"))? as usize,
+        start: read_time(require(root, "start")?).ok_or_else(|| bad_field("start"))?,
+        end: read_time(require(root, "end")?).ok_or_else(|| bad_field("end"))?,
+        packages,
+        reports,
+        website_count: require(root, "website_count")?
+            .as_u64()
+            .ok_or_else(|| bad_field("website_count"))? as usize,
+        collect_time: read_time(require(root, "collect_time")?)
+            .ok_or_else(|| bad_field("collect_time"))?,
+    })
+}
+
+/// Serializes one window delta as pretty-printed JSON (full fidelity).
+pub fn export_delta_json(delta: &CorpusDelta) -> String {
+    delta_value(delta).to_pretty()
+}
+
+/// Deserializes a delta previously written by [`export_delta_json`].
+///
+/// # Errors
+///
+/// Returns [`ExportError`] on malformed JSON or any malformed field.
+pub fn import_delta_json(json: &str) -> Result<CorpusDelta, ExportError> {
+    let root = jsonio::Value::parse(json).map_err(|e| ExportError {
+        message: format!("malformed delta: {e}"),
+    })?;
+    delta_from_value(&root)
 }
 
 fn fetch_health_value(health: &FetchHealth) -> jsonio::Value {
@@ -542,6 +660,37 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn delta_journal_round_trips_exactly() {
+        let world = World::generate(WorldConfig::small(101));
+        let dataset = collect(&world);
+        let plan = registry_sim::WindowPlan::disclosure_quantiles(&world, 3);
+        for delta in crate::windows::partition_windows(&dataset, &plan) {
+            let json = export_delta_json(&delta);
+            let back = import_delta_json(&json).unwrap();
+            assert_eq!(back.window, delta.window);
+            assert_eq!(back.start, delta.start);
+            assert_eq!(back.end, delta.end);
+            assert_eq!(back.website_count, delta.website_count);
+            assert_eq!(back.collect_time, delta.collect_time);
+            assert_eq!(back.packages, delta.packages, "journal must be lossless");
+            assert_eq!(back.reports, delta.reports);
+            // Re-export is byte-exact, like the corpus manifest.
+            assert_eq!(export_delta_json(&back), json);
+        }
+    }
+
+    #[test]
+    fn delta_import_rejects_garbage_and_wrong_versions() {
+        assert!(import_delta_json("{").is_err());
+        assert!(import_delta_json("{\"format_version\": 9}").is_err());
+        assert!(import_delta_json(
+            r#"{"format_version":1,"window":0,"start":0,"end":1,
+                "website_count":0,"collect_time":1,"packages":"nope","reports":[]}"#
+        )
+        .is_err());
     }
 
     #[test]

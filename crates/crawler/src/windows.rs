@@ -118,6 +118,15 @@ pub fn collect_windows(world: &World, options: &CollectOptions, plan: &WindowPla
     partition_windows(&dataset, plan)
 }
 
+/// The suffix of `deltas` still to apply after the first `applied`
+/// windows have been made durable — the resumable window plan a
+/// checkpointed ingest run continues from. Clamped, so a checkpoint
+/// claiming more windows than the plan holds yields an empty remainder
+/// instead of a panic.
+pub fn resume_windows(deltas: &[CorpusDelta], applied: usize) -> &[CorpusDelta] {
+    &deltas[applied.min(deltas.len())..]
+}
+
 /// Concatenates deltas (in the order given) back into one dataset —
 /// the right-hand side of the ingest equivalence oracle.
 pub fn union_dataset(deltas: &[CorpusDelta]) -> CollectedDataset {
@@ -185,6 +194,19 @@ mod tests {
                 assert!(t <= delta.end || delta.window == last);
             }
         }
+    }
+
+    #[test]
+    fn resume_windows_clamps_and_partitions() {
+        let world = World::generate(WorldConfig::small(7));
+        let dataset = collect(&world);
+        let plan = WindowPlan::disclosure_quantiles(&world, 4);
+        let deltas = partition_windows(&dataset, &plan);
+        assert_eq!(resume_windows(&deltas, 0).len(), deltas.len());
+        assert_eq!(resume_windows(&deltas, 2).len(), deltas.len() - 2);
+        assert_eq!(resume_windows(&deltas, 2)[0].window, 2);
+        assert!(resume_windows(&deltas, deltas.len()).is_empty());
+        assert!(resume_windows(&deltas, deltas.len() + 5).is_empty(), "clamped, not a panic");
     }
 
     #[test]

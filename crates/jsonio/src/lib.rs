@@ -16,6 +16,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod durable;
+
 use std::fmt;
 
 /// One JSON value.

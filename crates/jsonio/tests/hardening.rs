@@ -1,0 +1,103 @@
+//! Parser and envelope hardening (ISSUE 10 satellite).
+//!
+//! Recovery reads checkpoint and journal files that a crash may have
+//! truncated mid-byte or that disk faults may have flipped bits in; the
+//! fallback ladder only works if every such read surfaces a typed error
+//! instead of panicking. These properties feed the parser and the sealed
+//! envelope arbitrary garbage, plus truncations and single-byte
+//! mutations of well-formed documents, and assert the call always
+//! *returns*.
+
+use jsonio::durable::open_sealed;
+use jsonio::{object, Value};
+use proptest::prelude::*;
+
+/// A representative exported manifest shape: nested objects, arrays,
+/// every scalar kind, and strings with escapes.
+fn sample_manifest() -> Value {
+    object! {
+        "format_version": 3i64,
+        "collect_time": 172.5,
+        "packages": Value::Array(vec![
+            object! {
+                "id": "npm/event-stream",
+                "mentions": Value::Array(vec![Value::Int(7), Value::Int(12)]),
+                "archive": Value::Null,
+                "flagged": true,
+            },
+            object! {
+                "id": "pypi/colou\u{0000}rama",
+                "mentions": Value::Array(vec![]),
+                "archive": "aGVsbG8=",
+                "flagged": false,
+            },
+        ]),
+        "health": object! { "retries": 4i64, "rate": 0.03125 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte soup (lossily decoded, as a reader would) never
+    /// panics the parser.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = Value::parse(&text);
+    }
+
+    /// Truncating an exported manifest at any char boundary either
+    /// parses (full length) or returns an error — never panics.
+    #[test]
+    fn truncated_manifest_never_panics(cut_frac in 0.0f64..1.0, pretty in any::<bool>()) {
+        let doc = sample_manifest();
+        let rendered = if pretty { doc.to_pretty() } else { doc.to_compact() };
+        let mut cut = (rendered.len() as f64 * cut_frac) as usize;
+        while !rendered.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let truncated = &rendered[..cut];
+        if let Ok(v) = Value::parse(truncated) {
+            prop_assert_eq!(v, doc, "only the full document may parse");
+        }
+    }
+
+    /// Flipping bits of one byte of a manifest (re-decoded lossily)
+    /// never panics the parser.
+    #[test]
+    fn mutated_manifest_never_panics(pos_frac in 0.0f64..1.0, flip in 1u8..=255) {
+        let rendered = sample_manifest().to_compact();
+        let mut bytes = rendered.into_bytes();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= flip;
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = Value::parse(&text);
+    }
+
+    /// The sealed-envelope reader returns a typed error on arbitrary
+    /// garbage — and any mutation of a valid envelope's header or body
+    /// length is caught by framing alone (checksum mismatches in the
+    /// body are the caller's digest comparison).
+    #[test]
+    fn sealed_envelope_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = open_sealed(&text, "malgraph-checkpoint/1");
+    }
+
+    /// Truncating a sealed envelope anywhere makes it unreadable —
+    /// there is no prefix of a valid envelope that still opens.
+    #[test]
+    fn truncated_envelope_always_rejected(cut_frac in 0.0f64..1.0) {
+        let body = sample_manifest().to_compact();
+        let sealed = jsonio::durable::seal("malgraph-checkpoint/1", "deadbeef", &body);
+        let mut cut = (sealed.len() as f64 * cut_frac) as usize;
+        if cut == sealed.len() {
+            cut -= 1;
+        }
+        while !sealed.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        prop_assert!(open_sealed(&sealed[..cut], "malgraph-checkpoint/1").is_err());
+    }
+}

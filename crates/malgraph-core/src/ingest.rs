@@ -50,21 +50,24 @@ use crate::node::Relation;
 use crate::similarity::{similar_pairs_cached, SimilarityCache, SimilarityOutput};
 use crawler::{CollectedDataset, CorpusDelta};
 use graphstore::NodeId;
-use oss_types::{Ecosystem, SimTime};
+use oss_types::{CrashPlan, CrashSignal, Ecosystem, SimTime};
 use std::sync::Arc;
 
-/// Per-ecosystem similarity memo carried across deltas.
+/// Per-ecosystem similarity memo carried across deltas. `pub(crate)` so
+/// the checkpoint module can snapshot the memo (entry-list length + last
+/// output) and rebuild it on restore; the embedding cache itself is
+/// never persisted — a cold cache reproduces identical outputs.
 #[derive(Debug, Default)]
-struct EcoState {
+pub(crate) struct EcoState {
     /// Embedding memo + collapse state for the cached pipeline.
-    cache: SimilarityCache,
+    pub(crate) cache: SimilarityCache,
     /// Entry-list length at the last similarity run; since entry lists
     /// are append-only, an equal length proves the list unchanged.
-    entries_len: usize,
+    pub(crate) entries_len: usize,
     /// The output of the last similarity run over this ecosystem,
     /// shared with the graph's diagnostics (reuse is a refcount bump,
     /// not a multi-million-pair copy).
-    output: Option<Arc<SimilarityOutput>>,
+    pub(crate) output: Option<Arc<SimilarityOutput>>,
 }
 
 /// The mutable companion of an incrementally-built [`MalGraph`]: the
@@ -74,10 +77,10 @@ struct EcoState {
 /// and feed every delta through [`MalGraph::apply_delta`].
 #[derive(Debug)]
 pub struct IngestState {
-    dataset: CollectedDataset,
-    nodes_by_pkg: Vec<Vec<NodeId>>,
-    eco: Vec<EcoState>,
-    windows: usize,
+    pub(crate) dataset: CollectedDataset,
+    pub(crate) nodes_by_pkg: Vec<Vec<NodeId>>,
+    pub(crate) eco: Vec<EcoState>,
+    pub(crate) windows: usize,
 }
 
 impl Default for IngestState {
@@ -125,6 +128,29 @@ impl MalGraph {
         options: &BuildOptions,
         state: &mut IngestState,
     ) {
+        self.apply_delta_with(delta, options, state, &CrashPlan::none())
+            .expect("an unarmed crash plan never fires");
+    }
+
+    /// [`MalGraph::apply_delta`] with crash-fault injection: every stage
+    /// boundary fires a named crash point through `crash`, and an armed
+    /// point aborts the apply mid-flight with **no cleanup** — the graph
+    /// and state are left exactly as the crash found them, the way a
+    /// killed process leaves its checkpoint directory. Callers that
+    /// receive the signal must discard both (the checkpointed driver
+    /// does; recovery rebuilds them from disk).
+    ///
+    /// # Errors
+    ///
+    /// The [`CrashSignal`] of the armed crash point, if it fired during
+    /// this delta.
+    pub fn apply_delta_with(
+        &mut self,
+        delta: &CorpusDelta,
+        options: &BuildOptions,
+        state: &mut IngestState,
+        crash: &CrashPlan,
+    ) -> Result<(), CrashSignal> {
         let _span = obs::span!("ingest/delta");
         obs::counter_add("ingest.windows", 1);
         obs::counter_add("ingest.packages_added", delta.packages.len() as u64);
@@ -149,6 +175,7 @@ impl MalGraph {
                 (self.graph.node_count() - from_node) as u64,
             );
         }
+        crash.fire("build/nodes")?;
 
         // 2. Re-emit every edge stage over the union, in build order —
         // dependency and co-existing edges between old nodes can appear
@@ -159,8 +186,10 @@ impl MalGraph {
             let _stage = obs::span!("ingest/delta/edges");
             self.graph.clear_edges();
             let duplicated = build::emit_duplicated_edges(&mut self.graph, &state.nodes_by_pkg);
+            crash.fire("build/duplicated")?;
             let dependency =
                 build::emit_dependency_edges(&mut self.graph, &self.primary, &state.dataset.packages);
+            crash.fire("build/dependency")?;
             let jobs = build::similarity_jobs(&state.dataset.packages);
             let mut outputs: Vec<Arc<SimilarityOutput>> = Vec::with_capacity(jobs.len());
             for (eco, entries) in &jobs {
@@ -185,6 +214,10 @@ impl MalGraph {
                         ));
                         memo.entries_len = entries.len();
                         memo.output = Some(Arc::clone(&output));
+                        // The similarity-cache publish boundary: the
+                        // memo now holds an output the graph does not
+                        // carry yet.
+                        crash.fire("similar/publish")?;
                         output
                     }
                 };
@@ -193,8 +226,10 @@ impl MalGraph {
             let (diagnostics, similar) =
                 build::apply_similarity_outputs(&mut self.graph, &self.primary, &jobs, outputs);
             self.similarity_diagnostics = diagnostics;
+            crash.fire("build/similar")?;
             let coexisting =
                 build::emit_coexisting_edges(&mut self.graph, &self.primary, &state.dataset.reports);
+            crash.fire("build/coexisting")?;
             obs::counter_add("ingest.edges_emitted{relation=duplicated}", duplicated);
             obs::counter_add("ingest.edges_emitted{relation=dependency}", dependency);
             obs::counter_add("ingest.edges_emitted{relation=similar}", similar);
@@ -254,6 +289,8 @@ impl MalGraph {
             }
         }
         state.windows += 1;
+        crash.fire("ingest/apply")?;
+        Ok(())
     }
 }
 

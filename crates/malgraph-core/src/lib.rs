@@ -31,11 +31,16 @@
 
 pub mod analysis;
 pub mod build;
+pub mod checkpoint;
 pub mod ingest;
 pub mod node;
 pub mod similarity;
 
 pub use build::{build, BuildOptions, MalGraph};
+pub use checkpoint::{
+    recover, run_checkpointed_ingest, CheckpointError, CheckpointOptions, CheckpointStore,
+    IngestRunError, RunStamp, CRASH_POINTS,
+};
 pub use ingest::IngestState;
 pub use node::{MalNode, Relation};
 pub use similarity::{similar_pairs, similar_pairs_cached, SimilarityCache, SimilarityConfig};

@@ -18,7 +18,10 @@
 //!   reports disclose it, by the analyses;
 //! * [`FetchError`] / [`FaultConfig`] / [`RetryPolicy`] — the collection
 //!   transport's fault model: failure categories, per-category rates and
-//!   the bounded deterministic backoff schedule.
+//!   the bounded deterministic backoff schedule;
+//! * [`CrashPlan`] / [`CrashSignal`] — deterministic simulated process
+//!   deaths at named pipeline stage boundaries, for crash-recovery
+//!   testing.
 //!
 //! # Examples
 //!
@@ -39,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod actor;
+pub mod crash;
 pub mod ecosystem;
 pub mod error;
 pub mod fetch;
@@ -50,6 +54,7 @@ pub mod source;
 pub mod time;
 
 pub use actor::ActorId;
+pub use crash::{CrashPlan, CrashSignal};
 pub use ecosystem::Ecosystem;
 pub use error::ParseError;
 pub use fetch::{FaultConfig, FetchError, RetryPolicy};

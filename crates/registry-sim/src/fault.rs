@@ -13,6 +13,7 @@
 //! zero-fault fast path stays fast.
 
 use crate::config::WorldConfig;
+use oss_types::CrashPlan;
 
 /// Seed material for one collection run's fault plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +57,14 @@ impl FaultPlan {
     pub fn unit(&self, channel: u64, document: u64, attempt: u32) -> f64 {
         // 53 mantissa bits, the standard u64 → f64 uniform construction.
         (self.roll(channel, document, attempt) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Derives a deterministic [`CrashPlan`] over `points` from this
+    /// fault plan: the crash-matrix analogue of [`FaultPlan::roll`].
+    /// `case` separates independent crash draws of the same world (one
+    /// per matrix cell), the same way `document` separates fetches.
+    pub fn crash_plan(&self, case: u64, points: &[&str]) -> CrashPlan {
+        CrashPlan::seeded(self.roll(channel_id("crash"), case, 0), points)
     }
 }
 
@@ -114,6 +123,21 @@ mod tests {
         let b = WorldConfig::small(2);
         assert_eq!(FaultPlan::for_world(&a), FaultPlan::for_world(&a.clone()));
         assert_ne!(FaultPlan::for_world(&a), FaultPlan::for_world(&b));
+    }
+
+    #[test]
+    fn crash_plans_are_deterministic_per_case() {
+        let plan = FaultPlan::new(11);
+        let points = ["build/nodes", "ingest/apply", "checkpoint/write"];
+        assert_eq!(
+            plan.crash_plan(0, &points).armed(),
+            FaultPlan::new(11).crash_plan(0, &points).armed()
+        );
+        // Different cases eventually arm different points.
+        let drawn: std::collections::HashSet<String> = (0..64)
+            .map(|case| plan.crash_plan(case, &points).armed().unwrap().0.to_string())
+            .collect();
+        assert_eq!(drawn.len(), points.len());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! malgraph analyze --corpus P                        # JSON → MALGRAPH → summary
 //! malgraph ingest  [--seed N] [--scale F]            # windowed incremental build
 //!                  [--windows N] [--threads N] [--verify]
+//!                  [--checkpoint-dir DIR] [--crash-at POINT[:N]]
 //! malgraph scan <file.pyl> [name]                    # detectors on one file
 //! malgraph stats [snapshot.json]                     # pretty-print a metrics snapshot
 //! malgraph perf diff <base.json> <new.json>          # regression sentinel
@@ -19,6 +20,16 @@
 //! (`MalGraph::apply_delta`), printing per-window growth; `--verify`
 //! additionally runs a one-shot build over the union corpus and checks
 //! the incremental graph against it node for node, edge for edge.
+//!
+//! With `--checkpoint-dir` the run is crash-consistent: every window is
+//! journaled and checkpointed to the directory, and an interrupted run
+//! invoked again with the same directory (and the same seed/scale/
+//! windows — the run stamp refuses a mismatch) resumes where durability
+//! left off, finishing with a graph byte-identical to an uninterrupted
+//! run. `--crash-at POINT[:N]` arms the deterministic crash injector at
+//! a named stage boundary (see `malgraph_core::CRASH_POINTS`); the
+//! simulated crash aborts the process with exit code 3, exactly as a
+//! `kill -9` would, except addressable in tests.
 //!
 //! `collect`, `analyze`, `ingest` and `scan` additionally accept the
 //! observability flags `--metrics-out <file>` (JSON snapshot, schema
@@ -76,6 +87,7 @@ fn main() {
                  \x20        [--fault-rate F] [--retries N] [--fault-seed N] [--threads N]\n\
                  analyze --corpus corpus.json\n\
                  ingest  [--seed N] [--scale F] [--windows N] [--threads N] [--verify]\n\
+                 \x20        [--checkpoint-dir DIR] [--crash-at POINT[:N]]\n\
                  scan <file.pyl> [package-name]\n\
                  stats   [snapshot.json]\n\
                  perf diff <base.json> <new.json> [--threshold F] [--floor-us N]\n\
@@ -139,7 +151,7 @@ fn flag_cmds(flag: &str) -> Option<&'static [Cmd]> {
         "--out" | "--manifest-only" | "--fault-rate" | "--retries" | "--fault-seed" => &[Collect],
         "--threads" => &[Collect, Ingest],
         "--corpus" => &[Analyze],
-        "--windows" | "--verify" => &[Ingest],
+        "--windows" | "--verify" | "--checkpoint-dir" | "--crash-at" => &[Ingest],
         "--metrics-out" | "--trace-out" | "--profile-out" | "--log-level" => {
             &[Collect, Analyze, Ingest, Scan]
         }
@@ -160,6 +172,8 @@ struct CommonOpts {
     threads: Option<usize>,
     windows: usize,
     verify: bool,
+    checkpoint_dir: Option<String>,
+    crash_at: Option<String>,
     metrics_out: Option<String>,
     trace_out: Option<String>,
     profile_out: Option<String>,
@@ -184,6 +198,8 @@ fn parse_opts(cmd: Cmd, args: &[String]) -> CommonOpts {
         threads: None,
         windows: 10,
         verify: false,
+        checkpoint_dir: None,
+        crash_at: None,
         metrics_out: None,
         trace_out: None,
         profile_out: None,
@@ -243,6 +259,10 @@ fn parse_opts(cmd: Cmd, args: &[String]) -> CommonOpts {
                 opts.windows = windows;
             }
             "--verify" => opts.verify = true,
+            "--checkpoint-dir" => {
+                opts.checkpoint_dir = Some(next_str(&mut it, "--checkpoint-dir"))
+            }
+            "--crash-at" => opts.crash_at = Some(next_str(&mut it, "--crash-at")),
             "--metrics-out" => opts.metrics_out = Some(next_str(&mut it, "--metrics-out")),
             "--trace-out" => opts.trace_out = Some(next_str(&mut it, "--trace-out")),
             "--profile-out" => opts.profile_out = Some(next_str(&mut it, "--profile-out")),
@@ -326,23 +346,26 @@ fn obs_finish(opts: &CommonOpts) {
     if opts.metrics_out.is_none() && opts.trace_out.is_none() && opts.profile_out.is_none() {
         return;
     }
+    // Exports go through the atomic temp+fsync+rename path: a crash
+    // (simulated or real) mid-write must never leave a half-written
+    // snapshot that a later `stats`/`perf diff` would trip over.
+    let write = |path: &str, contents: &str| {
+        jsonio::durable::write_atomic(std::path::Path::new(path), contents.as_bytes())
+            .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+    };
     let snapshot = obs::snapshot();
     if let Some(path) = &opts.metrics_out {
-        std::fs::write(path, snapshot.to_json())
-            .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        write(path, &snapshot.to_json());
         eprintln!("wrote metrics snapshot {path} (inspect with `malgraph stats {path}`)");
     }
     if let Some(path) = &opts.trace_out {
-        std::fs::write(path, snapshot.to_chrome_trace())
-            .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        write(path, &snapshot.to_chrome_trace());
         eprintln!("wrote Chrome trace {path} (load in chrome://tracing or Perfetto)");
     }
     if let Some(path) = &opts.profile_out {
-        std::fs::write(path, snapshot.to_folded())
-            .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        write(path, &snapshot.to_folded());
         let alloc_path = format!("{path}.alloc");
-        std::fs::write(&alloc_path, snapshot.to_folded_alloc())
-            .unwrap_or_else(|e| die(&format!("write {alloc_path}: {e}")));
+        write(&alloc_path, &snapshot.to_folded_alloc());
         eprintln!(
             "wrote folded profiles {path} (self-µs) and {alloc_path} (self-bytes) \
              (render with flamegraph.pl or inferno-flamegraph)"
@@ -546,22 +569,80 @@ fn cmd_ingest(args: &[String]) -> i32 {
         dataset.packages.len(),
         dataset.reports.len()
     );
-    let mut graph = MalGraph::empty();
-    let mut state = IngestState::new();
-    for delta in &deltas {
-        let started = std::time::Instant::now();
-        graph.apply_delta(delta, &build_opts, &mut state);
-        println!(
-            "window {:>2} ending {}: +{} packages, +{} reports → {} nodes, {} edges ({:.2}s)",
-            delta.window,
-            delta.end,
-            delta.packages.len(),
-            delta.reports.len(),
-            graph.graph.node_count(),
-            graph.graph.edge_count(),
-            started.elapsed().as_secs_f64()
-        );
-    }
+    let (graph, state) = if let Some(dir) = &opts.checkpoint_dir {
+        use malgraph::malgraph_core::{
+            run_checkpointed_ingest, CheckpointOptions, CheckpointStore, IngestRunError, RunStamp,
+        };
+        use malgraph::oss_types::CrashPlan;
+        let crash = match &opts.crash_at {
+            Some(spec) => CrashPlan::parse(spec).unwrap_or_else(|e| die(&e.to_string())),
+            None => CrashPlan::none(),
+        };
+        let store = CheckpointStore::open(std::path::Path::new(dir))
+            .unwrap_or_else(|e| die(&format!("open checkpoint dir {dir}: {e}")));
+        let stamp = RunStamp::new(opts.seed, opts.scale, deltas.len());
+        match store.run_stamp() {
+            Ok(Some(found)) if found != stamp => die(&format!(
+                "checkpoint dir {dir} belongs to a different run \
+                 (seed {} scale {} windows {}); this run is seed {} scale {} windows {}",
+                found.seed,
+                found.scale(),
+                found.windows,
+                opts.seed,
+                opts.scale,
+                deltas.len()
+            )),
+            Ok(_) => store
+                .write_run_stamp(&stamp)
+                .unwrap_or_else(|e| die(&format!("write run stamp: {e}"))),
+            Err(e) => die(&format!("read run stamp: {e}")),
+        }
+        if let Some(generation) = store.generations().ok().and_then(|g| g.last().copied()) {
+            println!("resuming from checkpoint generation {generation} in {dir}");
+        }
+        match run_checkpointed_ingest(
+            &deltas,
+            &build_opts,
+            &store,
+            &crash,
+            &CheckpointOptions::default(),
+        ) {
+            Ok(pair) => pair,
+            Err(IngestRunError::Crashed(signal)) => {
+                eprintln!("simulated crash: {signal} (resume with the same --checkpoint-dir)");
+                obs_finish(&opts);
+                std::process::exit(3);
+            }
+            Err(IngestRunError::Store(e)) => die(&format!("checkpoint store: {e}")),
+        }
+    } else {
+        if opts.crash_at.is_some() {
+            die("--crash-at requires --checkpoint-dir (a crash without durability only loses work)");
+        }
+        let mut graph = MalGraph::empty();
+        let mut state = IngestState::new();
+        for delta in &deltas {
+            let started = std::time::Instant::now();
+            graph.apply_delta(delta, &build_opts, &mut state);
+            println!(
+                "window {:>2} ending {}: +{} packages, +{} reports → {} nodes, {} edges ({:.2}s)",
+                delta.window,
+                delta.end,
+                delta.packages.len(),
+                delta.reports.len(),
+                graph.graph.node_count(),
+                graph.graph.edge_count(),
+                started.elapsed().as_secs_f64()
+            );
+        }
+        (graph, state)
+    };
+    println!(
+        "ingested {} windows: {} nodes, {} edges",
+        state.windows_applied(),
+        graph.graph.node_count(),
+        graph.graph.edge_count()
+    );
     println!("\n-- relation graphs after ingestion (Table II shape)");
     for row in diversity::table2(&graph) {
         println!(
@@ -782,8 +863,17 @@ fn cmd_perf(args: &[String]) -> i32 {
         thresholds.floor_count = floor;
     }
     let load = |path: &str| {
-        obs::baseline::PerfProfile::from_file(std::path::Path::new(path))
-            .unwrap_or_else(|e| die(&e))
+        let profile = obs::baseline::PerfProfile::from_file(std::path::Path::new(path))
+            .unwrap_or_else(|e| die(&e));
+        // An entry-less profile would diff as "no regressions" — a
+        // silent zero, not a comparison. Refuse it up front.
+        if profile.entries.is_empty() {
+            die(&format!(
+                "{path}: snapshot carries no metrics to compare (was it produced \
+                 by a run with the registry enabled?)"
+            ));
+        }
+        profile
     };
     let base = load(base_path);
     let new = load(new_path);

@@ -462,3 +462,129 @@ fn faulty_collect_prints_the_health_table_and_round_trips() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn checkpointed_ingest_crashes_then_resumes_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("malgraph-ckpt-cli-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let ckpt = dir.join("ckpt");
+    let run = |crash: Option<&str>, verify: bool| {
+        let mut cmd = bin();
+        cmd.args([
+            "ingest",
+            "--seed",
+            "7",
+            "--scale",
+            "0.02",
+            "--windows",
+            "3",
+            "--checkpoint-dir",
+            ckpt.to_str().unwrap(),
+        ]);
+        if let Some(spec) = crash {
+            cmd.args(["--crash-at", spec]);
+        }
+        if verify {
+            cmd.arg("--verify");
+        }
+        cmd.output().expect("binary runs")
+    };
+
+    // Crash at the second delta apply: exit 3, durable state behind.
+    let out = run(Some("ingest/apply:2"), false);
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("simulated crash"));
+    assert!(ckpt.join("RUN.json").exists());
+    assert!(ckpt.join("gen-000001.json").exists(), "first window checkpointed");
+    assert!(ckpt.join("journal").join("window-000001.json").exists(), "second window journaled");
+
+    // Resume: finishes the plan and verifies against the one-shot oracle.
+    let out = run(None, true);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("resuming from checkpoint generation"), "{text}");
+    assert!(text.contains("ingested 3 windows"), "{text}");
+    assert!(
+        text.contains("verify: incremental graph is identical"),
+        "resume must be byte-identical: {text}"
+    );
+
+    // A different seed against the same directory is refused up front.
+    let out = bin()
+        .args([
+            "ingest",
+            "--seed",
+            "8",
+            "--scale",
+            "0.02",
+            "--windows",
+            "3",
+            "--checkpoint-dir",
+            ckpt.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("belongs to a different run"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crash_at_flag_is_validated() {
+    // Without durability a crash only loses work; refuse it.
+    let out = bin()
+        .args(["ingest", "--scale", "0.02", "--crash-at", "ingest/apply"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--crash-at requires --checkpoint-dir"));
+
+    // Malformed specs die before any work happens.
+    for spec in ["ingest/apply:0", "ingest/apply:x", ":3"] {
+        let out = bin()
+            .args([
+                "ingest",
+                "--scale",
+                "0.02",
+                "--checkpoint-dir",
+                "/nonexistent-ckpt-dir-validation",
+                "--crash-at",
+                spec,
+            ])
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "--crash-at {spec} must be rejected");
+    }
+}
+
+#[test]
+fn stats_and_perf_diff_reject_empty_and_entryless_snapshots() {
+    let dir = std::env::temp_dir().join(format!("malgraph-empty-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // A zero-byte snapshot: both readers die with a parse error, not a
+    // panic or an empty table.
+    let empty = dir.join("empty.json");
+    std::fs::write(&empty, "").unwrap();
+    let out = bin().args(["stats", empty.to_str().unwrap()]).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stdout));
+    let out = bin()
+        .args(["perf", "diff", empty.to_str().unwrap(), empty.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+
+    // A valid-schema snapshot with no metric entries would diff as "no
+    // regressions" — the silent zero the gate must refuse.
+    let hollow = dir.join("hollow.json");
+    std::fs::write(&hollow, r#"{"schema": "malgraph-obs/2"}"#).unwrap();
+    let out = bin()
+        .args(["perf", "diff", hollow.to_str().unwrap(), hollow.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "entry-less snapshots must not pass the gate");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no metrics to compare"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
